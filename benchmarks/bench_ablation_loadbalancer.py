@@ -1,0 +1,74 @@
+"""Ablation — dispatch strategies under service-time variability.
+
+§IV-C argues round-robin suffices when service times have low
+variability, deferring to provider balancers otherwise.  This ablation
+raises the service jitter to U(0, 100 %) and compares round-robin,
+least-connections, and random dispatch on one scaled web day: response
+times order least-connections ≤ round-robin ≤ random, and the metrics
+collapse together at the paper's low (10 %) jitter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cloud import LeastConnectionsBalancer, RandomBalancer, RoundRobinBalancer
+from repro.core import StaticPolicy
+from repro.experiments import web_scenario
+from repro.experiments.runner import run_policy
+from repro.metrics import format_table
+from repro.sim import RandomStreams
+from repro.workloads import WebWorkload
+
+
+def run_balancers(jitter: float) -> dict:
+    workload = WebWorkload(service_jitter=jitter).scaled(1000.0)
+    scenario = web_scenario(scale=1000.0, horizon=86_400.0).with_updates(
+        workload=workload, name=f"web-jitter-{jitter:g}"
+    )
+    results = {}
+    for name, balancer in (
+        ("round-robin", RoundRobinBalancer()),
+        ("least-connections", LeastConnectionsBalancer()),
+        ("random", RandomBalancer(RandomStreams(99).get("balancer"))),
+    ):
+        results[name] = run_policy(scenario, StaticPolicy(110), seed=0, balancer=balancer)
+    return results
+
+
+def test_balancer_ablation_high_variability(benchmark):
+    results = benchmark.pedantic(lambda: run_balancers(1.0), rounds=1, iterations=1)
+    headers = ["balancer", "avg Tr (s)", "std Tr (s)", "rejection"]
+    rows = [
+        [n, r.mean_response_time, r.response_time_std, r.rejection_rate]
+        for n, r in results.items()
+    ]
+    print()
+    print(format_table(headers, rows, title="Balancer ablation, service jitter U(0,100%)"))
+
+    rr = results["round-robin"].mean_response_time
+    lc = results["least-connections"].mean_response_time
+    rnd = results["random"].mean_response_time
+    # Least-connections wins under high variability; random is worst.
+    assert lc <= rr * 1.02
+    assert rr <= rnd * 1.05
+
+
+def test_balancers_equivalent_at_paper_jitter(benchmark):
+    results = benchmark.pedantic(lambda: run_balancers(0.10), rounds=1, iterations=1)
+    times = {n: r.mean_response_time for n, r in results.items()}
+    print()
+    print(
+        "paper-jitter response times:",
+        {n: f"{t*1000:.2f} ms" for n, t in times.items()},
+    )
+    # §IV-C's claim: with low variability round-robin matches the
+    # provider-style least-connections balancer within a few percent.
+    rr, lc = times["round-robin"], times["least-connections"]
+    assert abs(rr - lc) / lc < 0.05
+    # Uninformed random dispatch, by contrast, pays real queueing even
+    # here — evidence the *deterministic rotation*, not feedback, is
+    # what keeps round-robin competitive.
+    assert times["random"] >= rr
+    for r in results.values():
+        assert r.rejection_rate < 0.02

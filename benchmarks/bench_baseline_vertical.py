@@ -1,0 +1,61 @@
+"""Baseline comparison — horizontal (the paper) vs vertical scaling.
+
+§VI contrasts the paper's approach ("increasing/decreasing number of
+instances") with Zhu & Agrawal's capacity reconfiguration.  Here both
+actuation styles run under the same analyzer, workload, and QoS on a
+scaled web day, costed in *core-hours* (identical to VM-hours for the
+paper's one-core instances).  Expected shape: both meet QoS; vertical
+scaling pays for its coarser granularity (n-core steps, integer
+speeds), so its core-hours are at least the adaptive policy's.
+"""
+
+from __future__ import annotations
+
+from repro.core import AdaptivePolicy, StaticPolicy, VerticalScalingPolicy
+from repro.experiments import run_policy, web_scenario
+from repro.metrics import format_table
+
+
+def run_baselines() -> dict:
+    scenario = web_scenario(scale=1000.0, horizon=86_400.0)
+    policies = (
+        AdaptivePolicy(),
+        VerticalScalingPolicy(instances=20),
+        VerticalScalingPolicy(instances=40),
+        StaticPolicy(130),
+    )
+    return {p.name: run_policy(scenario, p, seed=0) for p in policies}
+
+
+def test_horizontal_vs_vertical(benchmark):
+    results = benchmark.pedantic(run_baselines, rounds=1, iterations=1)
+    headers = ["policy", "rejection", "violations", "core hours", "utilization"]
+    rows = [
+        [n, r.rejection_rate, r.qos_violations, r.core_hours, r.utilization]
+        for n, r in results.items()
+    ]
+    print()
+    print(format_table(headers, rows, title="Horizontal vs vertical scaling (web day)"))
+
+    adaptive = results["Adaptive"]
+    v20 = results["Vertical-20"]
+    v40 = results["Vertical-40"]
+
+    # Every elastic policy meets QoS.
+    for r in (adaptive, v20, v40):
+        assert r.rejection_rate < 0.01
+        assert r.qos_violations == 0
+
+    # Vertical fleets really stayed fixed-size.
+    assert v20.min_instances == v20.max_instances == 20
+    assert v40.min_instances == v40.max_instances == 40
+
+    # Cost: one-core horizontal steps are the finest actuation, so the
+    # adaptive policy is never beaten on core-hours.
+    assert v20.core_hours >= adaptive.core_hours * 0.97
+    assert v40.core_hours >= adaptive.core_hours * 0.97
+
+    # And all elastic policies beat the peak-sized static deployment.
+    static = results["Static-130"]
+    assert adaptive.core_hours < static.core_hours
+    assert v20.core_hours < static.core_hours * 1.25

@@ -1,0 +1,46 @@
+"""Figure 3 — average requests/s received over one week (web workload).
+
+Regenerates the Eq.-2 curve plus a full realized week of 60-s interval
+rates and asserts the figure's shape: diurnal sine between the Table-II
+bounds, weekday peaks at 1200, weekend lower, trough-to-peak ratio as
+published.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig3_data
+from repro.metrics import format_table
+
+
+def test_fig3_week_curve(benchmark):
+    data = benchmark.pedantic(
+        lambda: fig3_data(bin_width=3600.0, sampled=True, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(data.headers, data.rows[:14], title=data.title + " (first rows)"))
+    model = np.asarray(data.raw["model_rate"])
+    realized = np.asarray(data.raw["realized_rate"])
+
+    # Shape: 168 hourly points, one diurnal peak per day at noon.
+    assert model.shape == (168,)
+    for day in range(7):
+        day_slice = model[day * 24 : (day + 1) * 24]
+        assert int(np.argmax(day_slice)) == 12
+
+    # Tue–Fri peak 1200; Sunday peak 900; trough bounds per Table II.
+    assert model[24 + 12] == 1200.0
+    assert model[6 * 24 + 12] == 900.0
+    assert model.min() >= 400.0
+
+    # The realized week tracks the model curve.
+    rel = np.abs(realized - model) / model
+    assert float(np.median(rel)) < 0.08
+
+    # Weekly volume ≈ the paper's 500.12 M requests.
+    weekly = float(realized.mean() * 7 * 86_400)
+    print(f"realized weekly requests: {weekly/1e6:.1f} M (paper: 500.12 M)")
+    assert 4.7e8 < weekly < 5.7e8

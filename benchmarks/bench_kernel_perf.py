@@ -1,0 +1,73 @@
+"""Performance micro-benchmarks of the simulation substrate.
+
+Unlike the figure benchmarks (single-shot regenerations), these are
+true timing benchmarks with repeated rounds: event-loop throughput,
+Algorithm-1 latency, analytical-formula cost, and workload sampling —
+the quantities that determine how close to paper scale the DES can run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import PerformanceModeler, QoSTarget
+from repro.queueing import mm1k_blocking
+from repro.sim import Engine, RandomStreams
+from repro.workloads import ScientificWorkload, WebWorkload
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-fire 50 k chained events."""
+
+    def run_chain():
+        eng = Engine()
+        remaining = [50_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                eng.schedule(1.0, tick)
+
+        eng.schedule(1.0, tick)
+        eng.run()
+        return eng.events_fired
+
+    fired = benchmark(run_chain)
+    assert fired == 50_000
+
+
+def test_algorithm1_decision_latency(benchmark):
+    """One full Algorithm-1 search at the paper's web peak point."""
+    modeler = PerformanceModeler(
+        qos=QoSTarget(max_response_time=0.250, min_utilization=0.80),
+        capacity=2,
+        max_vms=8000,
+    )
+    decision = benchmark(lambda: modeler.decide(1200.0, 0.105, 55))
+    assert 148 <= decision.instances <= 158
+
+
+def test_mm1k_blocking_formula(benchmark):
+    """The closed form evaluated across a load sweep."""
+
+    def sweep():
+        return [mm1k_blocking(rho, 2) for rho in np.linspace(0.01, 3.0, 100)]
+
+    values = benchmark(sweep)
+    assert all(0.0 <= v <= 1.0 for v in values)
+
+
+def test_web_window_sampling(benchmark):
+    """One 60-s web window at peak rate (60 k arrivals)."""
+    w = WebWorkload()
+    rng = RandomStreams(0).get("bench.web")
+    arrivals = benchmark(lambda: w.sample_window(rng, 43_200.0))
+    assert arrivals.size > 50_000
+
+
+def test_scientific_window_sampling(benchmark):
+    """One 30-minute peak BoT window (~250 jobs)."""
+    sci = ScientificWorkload()
+    rng = RandomStreams(0).get("bench.sci")
+    arrivals = benchmark(lambda: sci.sample_window(rng, 10 * 3600.0))
+    assert arrivals.size > 100

@@ -1,0 +1,43 @@
+"""Table II — min/max requests per second on each week day (web).
+
+Regenerates the workload-model constants and verifies the generator's
+realized extremes against them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import table2_data
+from repro.metrics import format_table
+from repro.sim.calendar import SECONDS_PER_DAY
+from repro.workloads import WebWorkload
+
+
+def test_table2(benchmark):
+    data = benchmark.pedantic(table2_data, rounds=1, iterations=1)
+    print()
+    print(format_table(data.headers, data.rows, title=data.title))
+    rows = {r[0]: (r[1], r[2]) for r in data.rows}
+    assert rows["Sunday"] == (900.0, 400.0)
+    assert rows["Wednesday"] == (1200.0, 500.0)
+    assert rows["Saturday"] == (1000.0, 500.0)
+
+
+def test_table2_generator_realizes_extremes(benchmark):
+    """The realized rate curve attains each day's Table-II bounds."""
+
+    def extremes():
+        w = WebWorkload()
+        out = []
+        for day in range(7):
+            grid = np.linspace(day * SECONDS_PER_DAY, (day + 1) * SECONDS_PER_DAY, 1441)
+            rates = np.asarray(w.mean_rate(grid[:-1]))
+            out.append((float(rates.max()), float(rates.min())))
+        return out
+
+    realized = benchmark.pedantic(extremes, rounds=1, iterations=1)
+    expected = [(1000, 500), (1200, 500), (1200, 500), (1200, 500), (1200, 500), (1000, 500), (900, 400)]
+    for (rmax, rmin), (emax, emin) in zip(realized, expected):
+        assert abs(rmax - emax) < 1.0
+        assert abs(rmin - emin) < 1.0

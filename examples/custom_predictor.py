@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Plugging a custom arrival-rate predictor into the analyzer.
+
+The paper leaves richer prediction (QRSM, ARMAX) as future work; the
+library ships those plus a predictor interface you can implement
+yourself.  This example:
+
+1. defines a custom predictor (a seasonal-naive forecaster: "this hour
+   will look like the same hour yesterday"),
+2. runs it inside the adaptive mechanism on two days of bursty MMPP
+   traffic (day one is its warm-up),
+3. compares it against the built-in reactive EWMA and the oracle.
+
+Usage::
+
+    python examples/custom_predictor.py
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro import AdaptivePolicy, run_policy
+from repro.core import QoSTarget
+from repro.experiments.scenario import ScenarioConfig
+from repro.metrics import format_table
+from repro.prediction import ArrivalRatePredictor, EWMAPredictor, OraclePredictor
+from repro.workloads import MMPPWorkload
+
+
+class SeasonalNaivePredictor(ArrivalRatePredictor):
+    """Predict the rate observed one period (default: one day) ago.
+
+    Falls back to the most recent observation while the first period of
+    history is still accumulating.
+    """
+
+    name = "seasonal-naive"
+
+    def __init__(self, period: float = 86_400.0, safety_factor: float = 1.2) -> None:
+        self.period = period
+        self.safety_factor = safety_factor
+        self._samples: deque = deque(maxlen=100_000)
+
+    def observe(self, t: float, rate: float) -> None:
+        self._samples.append((t, rate))
+
+    def predict(self, t0: float, t1: float) -> float:
+        if not self._samples:
+            from repro.errors import PredictionError
+
+            raise PredictionError("seasonal-naive: no history yet")
+        target = 0.5 * (t0 + t1) - self.period
+        best = min(self._samples, key=lambda s: abs(s[0] - target))
+        # Warm-up: if yesterday's sample is too far away, use the latest.
+        if abs(best[0] - target) > self.period / 4:
+            best = self._samples[-1]
+        return best[1] * self.safety_factor
+
+
+def bursty_scenario() -> ScenarioConfig:
+    workload = MMPPWorkload(
+        low_rate=2.0,
+        high_rate=12.0,
+        mean_low_sojourn=3 * 3600.0,
+        mean_high_sojourn=3 * 3600.0,
+        base_service_time=1.0,
+        window=60.0,
+    )
+    return ScenarioConfig(
+        name="mmpp-bursty",
+        workload=workload,
+        qos=QoSTarget(max_response_time=3.0, min_utilization=0.80),
+        horizon=2 * 86_400.0,
+        update_interval=600.0,
+        lead_time=60.0,
+        rate_sample_interval=60.0,
+        count_arrivals=True,
+    )
+
+
+def main() -> None:
+    scenario = bursty_scenario()
+    predictors = {
+        "seasonal-naive": lambda ctx: SeasonalNaivePredictor(),
+        "ewma": lambda ctx: EWMAPredictor(alpha=0.4, safety_factor=1.2),
+        "oracle": lambda ctx: OraclePredictor(ctx.workload, mode="mean"),
+    }
+    rows = []
+    for name, factory in predictors.items():
+        policy = AdaptivePolicy(
+            update_interval=600.0,
+            predictor_factory=factory,
+            initial_instances=5,
+        )
+        r = run_policy(scenario, policy, seed=0)
+        rows.append(
+            [name, f"{r.rejection_rate:.2%}", f"{r.utilization:.1%}", f"{r.vm_hours:.0f}"]
+        )
+    print(
+        format_table(
+            ["predictor", "rejection", "utilization", "VM hours"],
+            rows,
+            title="Custom predictor vs built-ins on 2 days of MMPP traffic",
+        )
+    )
+    print("\nExpected outcome: the oracle (sees the realized burst phase) keeps")
+    print("rejection near zero; EWMA chases bursts with a one-update lag; the")
+    print("seasonal-naive predictor fails badly because MMPP traffic has no")
+    print("daily seasonality — matching the forecaster to the workload matters.")
+    print("\nImplement `predict(t0, t1)` (and optionally `observe`/`boundaries`)")
+    print("on ArrivalRatePredictor to plug any forecaster into the analyzer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""SLA economics — incentive-aware admission under contention (§VII).
+
+Two customer classes share an undersized deployment: *gold* requests
+earn 1.0 per served request and cost 2.0 per rejection; *bronze*
+requests earn 0.2 and carry no penalty.  The example runs the same
+overloaded afternoon twice — with flat admission and with value-ranked
+trunk reservation — and compares the realized profit.
+
+Usage::
+
+    python examples/sla_economics.py
+"""
+
+from __future__ import annotations
+
+from repro.core import StaticPolicy
+from repro.core.sla import SLAAwareAdmission, SLAContract, SLAPortfolio
+from repro.experiments import build_context, web_scenario
+from repro.metrics import format_table
+
+GOLD_SHARE = 0.3
+
+
+def run(reservation_step: int):
+    scenario = web_scenario(scale=1000.0, horizon=12 * 3600.0)
+    ctx = build_context(scenario, seed=0)
+    StaticPolicy(80).attach(ctx)  # noon needs ~128 instances: contention
+    portfolio = SLAPortfolio(
+        [
+            SLAContract("gold", revenue_per_request=1.0, rejection_penalty=2.0),
+            SLAContract("bronze", revenue_per_request=0.2),
+        ]
+    )
+    admission = SLAAwareAdmission(
+        ctx.fleet, ctx.monitor, portfolio, reservation_step=reservation_step
+    )
+    rng = ctx.streams.get("sla.classes")
+
+    class FrontDoor:
+        def submit(self, arrival_time: float) -> bool:
+            klass = "gold" if rng.random() < GOLD_SHARE else "bronze"
+            return admission.submit(arrival_time, klass)
+
+    ctx.source._admission = FrontDoor()
+    ctx.source.start()
+    ctx.engine.run(until=scenario.horizon)
+    return admission
+
+
+def main() -> None:
+    rows = []
+    outcomes = {}
+    for label, step in (("flat admission", 0), ("value-ranked reservation", 40)):
+        adm = run(step)
+        outcomes[label] = adm
+        rows.append(
+            [
+                label,
+                f"{adm.per_class['gold'].rejection_rate:.2%}",
+                f"{adm.per_class['bronze'].rejection_rate:.2%}",
+                f"{adm.profit():,.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["admission", "gold rejection", "bronze rejection", "profit"],
+            rows,
+            title="SLA economics: 30% gold / 70% bronze on an undersized fleet",
+        )
+    )
+    flat = outcomes["flat admission"].profit()
+    smart = outcomes["value-ranked reservation"].profit()
+    print(f"\nValue-ranked reservation improves profit by "
+          f"{(smart - flat) / abs(flat):+.1%} — rejections migrate from the")
+    print("penalized gold contract to the penalty-free bronze one, exactly the")
+    print("SLA trade-off management the paper's future work calls for.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+``pip install -e .`` needs the ``wheel`` package (PEP 660 editable
+wheels); on fully-offline machines without it, ``python setup.py
+develop`` installs the same editable package using only setuptools.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

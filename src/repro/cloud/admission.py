@@ -1,0 +1,66 @@
+"""Admission control — the SaaS-layer request gate.
+
+From the paper (§IV): "its SaaS layer contains an admission control
+mechanism based on the number of requests on each application instance:
+if all virtualized application instances have k requests in their
+queues, new requests are rejected, because they are likely to violate
+``Ts``.  Accepted requests are forwarded to the provider's PaaS layer."
+
+Because ``k = ⌊Ts/Tr⌋`` (Eq. 1), an accepted request waits behind at
+most ``k − 1`` others and therefore completes within ``Ts`` in
+expectation — "requests are either rejected or served in a time
+acceptable by clients".
+
+:class:`AdmissionControl` is the front door of the whole deployment:
+every arrival passes through :meth:`submit`, which dispatches through
+the fleet's balancer or records a rejection.
+"""
+
+from __future__ import annotations
+
+from .fleet import ApplicationFleet
+from .monitor import Monitor
+
+__all__ = ["AdmissionControl"]
+
+
+class AdmissionControl:
+    """Queue-length-based admission gate.
+
+    Parameters
+    ----------
+    fleet:
+        The application fleet requests are dispatched into.
+    monitor:
+        Monitoring sink (records arrivals and rejections).
+    count_arrivals:
+        When true, every arrival is also reported to the monitor's
+        rate sampler (needed by reactive predictors; costs one method
+        call per request, so benchmarks that use model-informed
+        predictors leave it off).
+    """
+
+    __slots__ = ("_fleet", "_monitor", "_count_arrivals")
+
+    def __init__(
+        self,
+        fleet: ApplicationFleet,
+        monitor: Monitor,
+        count_arrivals: bool = False,
+    ) -> None:
+        self._fleet = fleet
+        self._monitor = monitor
+        self._count_arrivals = bool(count_arrivals)
+
+    def submit(self, arrival_time: float) -> bool:
+        """Admit (and dispatch) or reject one request.
+
+        Returns ``True`` when the request was accepted.
+        """
+        if self._count_arrivals:
+            self._monitor.record_arrival()
+        if self._fleet.dispatch(arrival_time):
+            self._monitor.record_acceptance()
+            return True
+        self._monitor.record_rejection()
+        return False

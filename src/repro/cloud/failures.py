@@ -1,0 +1,105 @@
+"""Failure injection — the "uncertain behavior" stressor.
+
+§I motivates the mechanism with clouds where "the availability, load,
+and throughput of ... resources ... can vary in an unpredictable way".
+:class:`FailureInjector` realizes that uncertainty: it crashes live VMs
+at exponentially distributed intervals (or at scripted times).  A crash
+
+* kills the backing VM instantly — queued and in-service requests are
+  *lost* (recorded separately from admission rejections),
+* releases the host's cores/RAM, and
+* silently shrinks the serving fleet: a static deployment stays
+  degraded forever, while the adaptive provisioner restores the target
+  fleet at its next alert (Algorithm 1 re-runs against the monitored
+  state).  The ``bench_failure_recovery`` benchmark quantifies exactly
+  that contrast.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sim.engine import Engine
+from ..sim.events import PRIORITY_HIGH
+from .fleet import ApplicationFleet
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Crashes random live application instances.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    fleet:
+        The fleet whose instances are at risk.
+    rng:
+        Dedicated random stream (victim choice + inter-failure gaps).
+    mtbf:
+        Mean time between failures (exponential), in seconds.  Mutually
+        exclusive with ``schedule``.
+    schedule:
+        Explicit crash times (for reproducible scenario scripting).
+    horizon:
+        No failures are injected at or beyond this time.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        fleet: ApplicationFleet,
+        rng: np.random.Generator,
+        mtbf: Optional[float] = None,
+        schedule: Optional[Sequence[float]] = None,
+        horizon: float = math.inf,
+    ) -> None:
+        if (mtbf is None) == (schedule is None):
+            raise ConfigurationError("provide exactly one of mtbf or schedule")
+        if mtbf is not None and mtbf <= 0.0:
+            raise ConfigurationError(f"MTBF must be > 0, got {mtbf!r}")
+        self._engine = engine
+        self._fleet = fleet
+        self._rng = rng
+        self.mtbf = mtbf
+        self.horizon = float(horizon)
+        self._schedule = sorted(schedule) if schedule is not None else None
+        #: Times at which a crash actually destroyed an instance.
+        self.crash_log: List[float] = []
+
+    def start(self) -> None:
+        """Arm the injector (call before the engine runs)."""
+        if self._schedule is not None:
+            for t in self._schedule:
+                if t < self.horizon:
+                    self._engine.schedule_at(t, self._crash, PRIORITY_HIGH)
+        else:
+            self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = float(self._rng.exponential(self.mtbf))
+        when = self._engine.now + gap
+        if when < self.horizon:
+            self._engine.schedule_at(when, self._crash_and_rearm, PRIORITY_HIGH)
+
+    def _crash_and_rearm(self) -> None:
+        self._crash()
+        self._schedule_next()
+
+    def _crash(self) -> None:
+        victims = self._fleet.live_instances
+        if not victims:
+            return
+        victim = victims[int(self._rng.integers(len(victims)))]
+        self._fleet.kill(victim)
+        self.crash_log.append(self._engine.now)
+
+    @property
+    def failures(self) -> int:
+        """Number of instances actually crashed."""
+        return len(self.crash_log)

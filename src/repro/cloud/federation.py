@@ -1,0 +1,157 @@
+"""Multi-cloud federation — the paper's §III system model.
+
+"The Cloud computing system P is a set of Cloud infrastructures owned
+and maintained by 3rd-party IaaS/PaaS providers ...
+P = (c₁, c₂, …, cₙ)".  The evaluation uses a single data center, but
+the model is explicitly multi-cloud; :class:`CloudFederation` provides
+that: several :class:`~repro.cloud.datacenter.Datacenter` objects
+behind the same VM-lifecycle interface the fleet consumes, with a
+pluggable selection policy deciding *which* cloud hosts each new VM.
+
+Selection policies mirror common provider strategies:
+
+* ``"ordered"`` (default) — fill the preferred (first) cloud, spill
+  over to the next when it refuses placement: the on-premise-first /
+  cheapest-first pattern;
+* ``"balanced"`` — place on the cloud with the lowest live-VM count:
+  spread for fault-tolerance.
+
+Accounting (VM-hours, core-hours) aggregates across member clouds, so
+run results remain directly comparable to single-cloud experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigurationError, PlacementError
+from .datacenter import Datacenter
+from .vm import DEFAULT_VM_SPEC, VirtualMachine, VMSpec
+
+__all__ = ["CloudFederation"]
+
+
+class CloudFederation:
+    """Several IaaS clouds behind one data-center-like interface.
+
+    Parameters
+    ----------
+    datacenters:
+        Member clouds, in preference order (``c_1`` first).
+    selection:
+        ``"ordered"`` or ``"balanced"`` (see module docstring).
+    name:
+        Label used in reports.
+    """
+
+    def __init__(
+        self,
+        datacenters: Sequence[Datacenter],
+        selection: str = "ordered",
+        name: str = "federation",
+    ) -> None:
+        if not datacenters:
+            raise ConfigurationError("a federation needs at least one data center")
+        names = [dc.name for dc in datacenters]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate data-center names: {names}")
+        if selection not in ("ordered", "balanced"):
+            raise ConfigurationError(
+                f"selection must be 'ordered' or 'balanced', got {selection!r}"
+            )
+        self.name = name
+        self.datacenters = list(datacenters)
+        self.selection = selection
+        self._vm_home: Dict[int, Datacenter] = {}
+
+    # ------------------------------------------------------------------
+    # capacity introspection (Datacenter interface)
+    # ------------------------------------------------------------------
+    @property
+    def live_vms(self) -> int:
+        """VMs currently placed across all member clouds."""
+        return sum(dc.live_vms for dc in self.datacenters)
+
+    @property
+    def free_cores(self) -> int:
+        """Aggregate unallocated cores across the federation."""
+        return sum(dc.free_cores for dc in self.datacenters)
+
+    def max_vms(self, spec: VMSpec = DEFAULT_VM_SPEC) -> int:
+        """Aggregate placement ceiling (the provisioner's MaxVMs)."""
+        return sum(dc.max_vms(spec) for dc in self.datacenters)
+
+    def placement_census(self) -> Dict[str, int]:
+        """Live VMs per member cloud (for diagnostics and tests)."""
+        return {dc.name: dc.live_vms for dc in self.datacenters}
+
+    # ------------------------------------------------------------------
+    # VM lifecycle (Datacenter interface)
+    # ------------------------------------------------------------------
+    def _candidates(self) -> List[Datacenter]:
+        if self.selection == "ordered":
+            return self.datacenters
+        return sorted(self.datacenters, key=lambda dc: (dc.live_vms, dc.name))
+
+    def create_vm(self, now: float, spec: VMSpec = DEFAULT_VM_SPEC) -> VirtualMachine:
+        """Place a VM on the first member cloud that accepts it.
+
+        Raises
+        ------
+        PlacementError
+            When every member cloud refuses placement.
+        """
+        for dc in self._candidates():
+            try:
+                vm = dc.create_vm(now, spec)
+            except PlacementError:
+                continue
+            # Member clouds number VMs independently, so the home map
+            # keys on object identity rather than vm_id.
+            self._vm_home[id(vm)] = dc
+            return vm
+        raise PlacementError(
+            f"{self.name}: no member cloud can fit VM spec {spec.name}; "
+            f"census={self.placement_census()}"
+        )
+
+    def _home(self, vm: VirtualMachine) -> Datacenter:
+        dc = self._vm_home.get(id(vm))
+        if dc is None:
+            raise PlacementError(f"VM {vm.vm_id} is not managed by {self.name}")
+        return dc
+
+    def destroy_vm(self, vm: VirtualMachine, now: float) -> None:
+        """Destroy ``vm`` on its home cloud."""
+        dc = self._home(vm)
+        dc.destroy_vm(vm, now)
+        del self._vm_home[id(vm)]
+
+    def resize_vm(self, vm: VirtualMachine, new_cores: int, now: float) -> bool:
+        """Vertically scale ``vm`` on its home cloud."""
+        return self._home(vm).resize_vm(vm, new_cores, now)
+
+    # ------------------------------------------------------------------
+    # accounting (Datacenter interface)
+    # ------------------------------------------------------------------
+    def vm_seconds(self, now: float) -> float:
+        """Aggregate VM wall-clock seconds across member clouds."""
+        return sum(dc.vm_seconds(now) for dc in self.datacenters)
+
+    def vm_hours(self, now: float) -> float:
+        """Aggregate VM hours."""
+        return self.vm_seconds(now) / 3600.0
+
+    def core_seconds(self, now: float) -> float:
+        """Aggregate core × seconds."""
+        return sum(dc.core_seconds(now) for dc in self.datacenters)
+
+    def core_hours(self, now: float) -> float:
+        """Aggregate core hours."""
+        return self.core_seconds(now) / 3600.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CloudFederation {self.name} clouds={len(self.datacenters)} "
+            f"vms={self.live_vms}>"
+        )

@@ -1,0 +1,136 @@
+"""Monitoring service — the simulator's Amazon-CloudWatch stand-in.
+
+The load predictor & performance modeler "obtains current service times
+for each application instance ... via regular monitoring tools or by
+Cloud monitoring services such as Amazon CloudWatch" (paper §IV-B).
+:class:`Monitor` is that service:
+
+* it is the single sink for request completions/rejections (forwarding
+  them to the run's :class:`~repro.metrics.collector.MetricsCollector`),
+* it keeps an exponentially-weighted estimate of the mean request
+  service time ``T_m`` — the monitored quantity Algorithm 1 consumes,
+* it optionally samples the observed arrival rate on a fixed cadence,
+  which is the input history for the *reactive* predictors
+  (:mod:`repro.prediction`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..metrics.collector import MetricsCollector
+from ..sim.engine import Engine
+from ..sim.events import PRIORITY_LOW
+
+__all__ = ["Monitor"]
+
+
+class Monitor:
+    """Runtime observability for one application deployment.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine (used only when rate sampling is enabled).
+    metrics:
+        The run's metric accumulator.
+    default_service_time:
+        ``T_m`` reported before any completion has been observed — the
+        provisioner must make its first decision with no history, so it
+        starts from the negotiated/estimated request execution time.
+    ewma_alpha:
+        Smoothing weight of the service-time estimate.  The default 0.05
+        averages over roughly the last 40 completions.
+    rate_sample_interval:
+        When set, the monitor counts arrivals per interval and stores a
+        bounded history of ``(time, rate)`` pairs for reactive
+        predictors.
+    history_length:
+        Maximum retained rate samples.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        metrics: MetricsCollector,
+        default_service_time: float,
+        ewma_alpha: float = 0.05,
+        rate_sample_interval: Optional[float] = None,
+        history_length: int = 4096,
+    ) -> None:
+        if default_service_time <= 0.0:
+            raise ConfigurationError(
+                f"default service time must be > 0, got {default_service_time}"
+            )
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ConfigurationError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self._engine = engine
+        self._metrics = metrics
+        self._tm = float(default_service_time)
+        self._alpha = float(ewma_alpha)
+        self._seen_completion = False
+        # -- arrival-rate sampling ------------------------------------
+        self._rate_interval = rate_sample_interval
+        self._arrivals_in_window = 0
+        self.rate_history: Deque[Tuple[float, float]] = deque(maxlen=history_length)
+        if rate_sample_interval is not None:
+            if rate_sample_interval <= 0.0:
+                raise ConfigurationError(
+                    f"rate sample interval must be > 0, got {rate_sample_interval}"
+                )
+            engine.schedule(rate_sample_interval, self._sample_rate, PRIORITY_LOW)
+
+    # ------------------------------------------------------------------
+    # hot-path sinks
+    # ------------------------------------------------------------------
+    def record_response(self, response_time: float, service_time: float) -> None:
+        """Observe one completed request (called by instances)."""
+        self._metrics.record_response(response_time, service_time)
+        if self._seen_completion:
+            self._tm += self._alpha * (service_time - self._tm)
+        else:
+            self._tm = service_time
+            self._seen_completion = True
+
+    def record_acceptance(self) -> None:
+        """Observe one admitted request (called by admission control)."""
+        self._metrics.record_acceptance()
+
+    def record_rejection(self) -> None:
+        """Observe one rejected request (called by admission control)."""
+        self._metrics.record_rejection()
+
+    def record_arrival(self) -> None:
+        """Observe one arrival (only counted when sampling is enabled)."""
+        self._arrivals_in_window += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def mean_service_time(self) -> float:
+        """Current monitored estimate of ``T_m`` (seconds)."""
+        return self._tm
+
+    @property
+    def rate_sample_interval(self) -> Optional[float]:
+        """Arrival-rate sampling cadence, or ``None`` when disabled."""
+        return self._rate_interval
+
+    def observed_rate(self) -> Optional[float]:
+        """Most recent sampled arrival rate, or ``None``."""
+        if not self.rate_history:
+            return None
+        return self.rate_history[-1][1]
+
+    # ------------------------------------------------------------------
+    def _sample_rate(self) -> None:
+        assert self._rate_interval is not None
+        rate = self._arrivals_in_window / self._rate_interval
+        self.rate_history.append((self._engine.now, rate))
+        self._arrivals_in_window = 0
+        self._engine.schedule(self._rate_interval, self._sample_rate, PRIORITY_LOW)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Monitor Tm={self._tm:.6g}s samples={len(self.rate_history)}>"

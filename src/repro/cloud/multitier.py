@@ -1,0 +1,219 @@
+"""Multi-tier (composite-service) deployments in the DES.
+
+The analytic side of §VII's composite-service future work lives in
+:mod:`repro.queueing.tandem`; this module is its *simulated*
+counterpart: a chain of tier fleets where a request admitted at the
+front traverses every tier in order, and only the last tier's
+completion records the end-to-end response.
+
+The chaining needs no change to the hot-path instance code: an
+:class:`AppInstance` reports completions to a monitor-like sink, so
+each non-final tier gets a :class:`TierForwarder` sink that
+
+* books the tier's service time as busy time (utilization stays
+  correct),
+* reconstructs the request's *original* arrival timestamp
+  (``engine.now − response_so_far``), and
+* submits it to the next tier's admission gate with that timestamp —
+  so when the final tier completes, ``now − arrival`` is exactly the
+  end-to-end sojourn, and the run-level metrics are directly
+  comparable with the single-tier experiments.
+
+A request rejected by a downstream tier's admission counts as a
+rejection in the run metrics (the work already invested upstream stays
+in the busy-time ledger, mirroring a real mid-pipeline drop).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..metrics.collector import MetricsCollector
+from ..sim.engine import Engine
+from ..sim.rng import RandomStreams
+from ..workloads.base import Workload
+from .admission import AdmissionControl
+from .datacenter import Datacenter
+from .fleet import ApplicationFleet
+from .monitor import Monitor
+
+__all__ = ["TierSpec", "TierForwarder", "MultiTierDeployment"]
+
+
+class TierSpec:
+    """Configuration of one tier in a composite deployment.
+
+    Parameters
+    ----------
+    name:
+        Tier label.
+    workload:
+        Supplies the tier's service-time law (``base_service_time`` +
+        jitter); arrival generation of the front tier comes from the
+        scenario's broker, not from here.
+    capacity:
+        Per-instance queue capacity ``k`` for the tier.
+    instances:
+        Initial fleet size.
+    """
+
+    def __init__(
+        self, name: str, workload: Workload, capacity: int, instances: int = 1
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"tier {name!r}: capacity must be >= 1")
+        if instances < 1:
+            raise ConfigurationError(f"tier {name!r}: instances must be >= 1")
+        self.name = name
+        self.workload = workload
+        self.capacity = int(capacity)
+        self.instances = int(instances)
+
+
+class TierForwarder:
+    """Monitor-like completion sink that chains a request to the next tier."""
+
+    __slots__ = ("_engine", "_metrics", "_next_admission", "forwarded", "dropped")
+
+    def __init__(
+        self,
+        engine: Engine,
+        metrics: MetricsCollector,
+        next_admission: AdmissionControl,
+    ) -> None:
+        self._engine = engine
+        self._metrics = metrics
+        self._next_admission = next_admission
+        self.forwarded = 0
+        self.dropped = 0
+
+    # Monitor interface used by AppInstance -----------------------------
+    def record_response(self, response_time: float, service_time: float) -> None:
+        self._metrics.record_intermediate(service_time)
+        original_arrival = self._engine.now - response_time
+        if self._next_admission.submit(original_arrival):
+            self.forwarded += 1
+        else:
+            self.dropped += 1
+
+    def record_rejection(self) -> None:  # pragma: no cover - unused path
+        self._metrics.record_rejection()
+
+    def record_acceptance(self) -> None:  # pragma: no cover - unused path
+        pass
+
+    def record_arrival(self) -> None:  # pragma: no cover - unused path
+        pass
+
+    def mean_service_time(self) -> float:  # pragma: no cover - diagnostics
+        return 0.0
+
+
+class MultiTierDeployment:
+    """A chain of tier fleets sharing one data center and one metrics run.
+
+    Parameters
+    ----------
+    engine, datacenter, streams, metrics:
+        The shared substrate of the run.
+    tiers:
+        Tier definitions in traversal order (≥ 1).
+    boot_delay:
+        VM boot latency applied to every tier.
+
+    Attributes
+    ----------
+    front_admission:
+        The entry gate — wire the workload source here.
+    fleets:
+        ``{tier name: ApplicationFleet}`` for the control plane.
+    monitors:
+        The *final* tier has a real :class:`Monitor` (its completions
+        are the end-to-end responses); intermediate tiers expose their
+        :class:`TierForwarder` for diagnostics.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        datacenter: Datacenter,
+        streams: RandomStreams,
+        metrics: MetricsCollector,
+        tiers: Sequence[TierSpec],
+        boot_delay: float = 0.0,
+    ) -> None:
+        if not tiers:
+            raise ConfigurationError("a composite deployment needs at least one tier")
+        self.engine = engine
+        self.datacenter = datacenter
+        self.metrics = metrics
+        self.tiers = list(tiers)
+        self.fleets: Dict[str, ApplicationFleet] = {}
+        self.forwarders: Dict[str, TierForwarder] = {}
+
+        # Build back-to-front so each tier can point at its successor.
+        next_admission: Optional[AdmissionControl] = None
+        final_monitor: Optional[Monitor] = None
+        for position, tier in reversed(list(enumerate(self.tiers))):
+            is_final = next_admission is None
+            if is_final:
+                sink = Monitor(
+                    engine, metrics, default_service_time=tier.workload.mean_service_time
+                )
+                final_monitor = sink
+            else:
+                sink = TierForwarder(engine, metrics, next_admission)
+                self.forwarders[tier.name] = sink
+            sampler = tier.workload.service_sampler(
+                streams.get(f"service.{tier.name}")
+            )
+            fleet = ApplicationFleet(
+                engine=engine,
+                datacenter=datacenter,
+                sampler=sampler,
+                monitor=sink,
+                metrics=metrics,
+                capacity=tier.capacity,
+                boot_delay=boot_delay,
+            )
+            fleet.scale_to(tier.instances)
+            self.fleets[tier.name] = fleet
+            # The admission gate in front of THIS tier.  Only the front
+            # gate records global acceptances; mid-pipeline gates let
+            # the forwarder account drops (already-accepted requests).
+            if position == 0:
+                gate_monitor = final_monitor if is_final else Monitor(
+                    engine, metrics, default_service_time=tier.workload.mean_service_time
+                )
+                next_admission = AdmissionControl(fleet, gate_monitor)
+            else:
+                next_admission = _MidPipelineGate(fleet, metrics)
+        self.front_admission = next_admission
+        self.final_monitor = final_monitor
+
+    def tier_fleet(self, name: str) -> ApplicationFleet:
+        """Fleet of tier ``name`` (KeyError for unknown tiers)."""
+        return self.fleets[name]
+
+
+class _MidPipelineGate:
+    """Admission gate between tiers.
+
+    A refusal here drops an *already-accepted* request, recorded via
+    :meth:`~repro.metrics.collector.MetricsCollector.record_downstream_drop`
+    so the run-level ``loss_rate`` reflects every user-visible loss,
+    whichever tier caused it, without double-counting arrivals.
+    """
+
+    __slots__ = ("_fleet", "_metrics")
+
+    def __init__(self, fleet: ApplicationFleet, metrics: MetricsCollector) -> None:
+        self._fleet = fleet
+        self._metrics = metrics
+
+    def submit(self, arrival_time: float) -> bool:
+        if self._fleet.dispatch(arrival_time):
+            return True
+        self._metrics.record_downstream_drop()
+        return False

@@ -1,0 +1,72 @@
+"""Request-level data types.
+
+The DES hot path deliberately moves *floats*, not objects (an arrival
+is just its timestamp; a completion is ``now − arrival``), because the
+web scenario pushes millions of requests through the engine.  The
+types here serve the public API: examples, traces, and tests that want
+a readable record of a request's fate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RequestOutcome", "RequestRecord"]
+
+
+class RequestOutcome(enum.Enum):
+    """Terminal state of an end-user request."""
+
+    #: Served within the negotiated response time ``Ts``.
+    SERVED = "served"
+    #: Served, but the response time exceeded ``Ts`` (a QoS violation).
+    VIOLATED = "violated"
+    #: Rejected by admission control (all instances held ``k`` requests).
+    REJECTED = "rejected"
+    #: Still in the system when the simulation horizon was reached.
+    IN_FLIGHT = "in-flight"
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Full trace record of one request (API/trace use only).
+
+    Attributes
+    ----------
+    request_id:
+        Sequence number of the request within its workload (``r_l``).
+    arrival_time:
+        Simulation time ``t_l`` the request reached the provisioner.
+    outcome:
+        Terminal :class:`RequestOutcome`.
+    instance_id:
+        Identifier of the application instance that served it, or
+        ``None`` for rejected requests.
+    start_time:
+        When service began (``None`` if rejected).
+    completion_time:
+        When service finished (``None`` if rejected / in flight).
+    """
+
+    request_id: int
+    arrival_time: float
+    outcome: RequestOutcome
+    instance_id: Optional[int] = None
+    start_time: Optional[float] = None
+    completion_time: Optional[float] = None
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """End-to-end sojourn ``T_r`` or ``None`` when not served."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival_time
+
+    @property
+    def waiting_time(self) -> Optional[float]:
+        """Queueing delay before service started, or ``None``."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.arrival_time

@@ -1,0 +1,47 @@
+"""The paper's contribution: adaptive QoS-driven VM provisioning.
+
+Components (paper §IV, Figure 1):
+
+* :class:`WorkloadAnalyzer` — arrival-rate estimation and alerts;
+* :class:`PerformanceModeler` — Algorithm 1 over the Figure-2 queueing
+  network, returning the fleet size ``m`` that meets QoS at acceptable
+  utilization;
+* :class:`ApplicationProvisioner` — actuates modeler decisions through
+  the fleet (create / revive / drain instances);
+* :class:`QoSTarget` — the negotiated contract and the Eq.-1 capacity
+  rule;
+* :class:`AdaptivePolicy` / :class:`StaticPolicy` — the evaluated
+  provisioning policies, attachable to a :class:`SimulationContext`.
+"""
+
+from .analyzer import WorkloadAnalyzer
+from .context import SimulationContext
+from .mixed import MixedFleetPolicy, MixedFleetProvisioner
+from .modeler import PerformanceModeler, ProvisioningDecision
+from .policies import AdaptivePolicy, ProvisioningPolicy, StaticPolicy, default_predictor
+from .provisioner import ApplicationProvisioner, ScalingAction
+from .qos import QoSTarget
+from .sla import SLAAwareAdmission, SLAContract, SLAPortfolio
+from .vertical import VerticalProvisioner, VerticalScalingAction, VerticalScalingPolicy
+
+__all__ = [
+    "QoSTarget",
+    "PerformanceModeler",
+    "ProvisioningDecision",
+    "WorkloadAnalyzer",
+    "ApplicationProvisioner",
+    "ScalingAction",
+    "SimulationContext",
+    "ProvisioningPolicy",
+    "StaticPolicy",
+    "AdaptivePolicy",
+    "VerticalScalingPolicy",
+    "VerticalProvisioner",
+    "VerticalScalingAction",
+    "SLAContract",
+    "SLAPortfolio",
+    "SLAAwareAdmission",
+    "MixedFleetPolicy",
+    "MixedFleetProvisioner",
+    "default_predictor",
+]

@@ -1,0 +1,221 @@
+"""Mixed-fleet provisioning — heterogeneous VM classes (§IV-B).
+
+"Virtual machines with different capacities might also be deployed in
+the system.  In this case, the provisioner has to decide when to deploy
+VMs with different capacity, and this topic is subject of future
+research."
+
+:class:`MixedFleetPolicy` implements that decision in the same
+analyzer/Algorithm-1 framework:
+
+1. Algorithm 1 runs against the *small* (1-core) instance model exactly
+   as in the paper, yielding the equivalent small-fleet size ``m``;
+2. the required capacity is then packed into VM classes greedily by
+   core count — large instances (which serve ``c``× faster under the
+   linear-speedup model) carry the bulk, small instances the
+   remainder.  A ``large_threshold`` keeps small deployments on small
+   VMs (large instances have coarse granularity and drain slowly);
+3. scaling up prefers adding whichever class closes the core deficit
+   with least overshoot; scaling down drains small instances first
+   (cheapest capacity to release).
+
+Because a ``c``-core instance is modeled as ``c`` small servers, the
+per-instance queue capacity scales with the class (``k·c``), keeping
+the Eq.-1 deadline guarantee intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from ..cloud.fleet import ApplicationFleet
+from ..cloud.instance import AppInstance
+from ..cloud.monitor import Monitor
+from ..cloud.vm import VMSpec
+from ..errors import ConfigurationError
+from ..prediction.base import ArrivalRatePredictor
+from ..sim.engine import Engine
+from .analyzer import WorkloadAnalyzer
+from .context import SimulationContext
+from .modeler import PerformanceModeler
+from .policies import ProvisioningPolicy, default_predictor
+
+__all__ = ["MixedFleetAction", "MixedFleetProvisioner", "MixedFleetPolicy"]
+
+
+@dataclass(frozen=True)
+class MixedFleetAction:
+    """One mixed-fleet actuation, for diagnostics."""
+
+    time: float
+    predicted_rate: float
+    target_cores: int
+    large_instances: int
+    small_instances: int
+
+
+class MixedFleetProvisioner:
+    """Packs the Algorithm-1 core requirement into two VM classes."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fleet: ApplicationFleet,
+        modeler: PerformanceModeler,
+        monitor: Monitor,
+        large_cores: int = 4,
+        large_threshold: int = 8,
+    ) -> None:
+        if large_cores < 2:
+            raise ConfigurationError(f"large class needs >= 2 cores, got {large_cores}")
+        if large_threshold < large_cores:
+            raise ConfigurationError(
+                f"large threshold ({large_threshold}) must be >= large class "
+                f"size ({large_cores})"
+            )
+        self._engine = engine
+        self._fleet = fleet
+        self._modeler = modeler
+        self._monitor = monitor
+        self.large_cores = int(large_cores)
+        self.large_threshold = int(large_threshold)
+        self.large_spec = VMSpec(
+            cores=self.large_cores,
+            ram_mb=2048 * self.large_cores,
+            name=f"app-large-{self.large_cores}c",
+        )
+        self.actions: List[MixedFleetAction] = []
+
+    # ------------------------------------------------------------------
+    def plan(self, target_cores: int) -> Tuple[int, int]:
+        """Split a core requirement into (large, small) instance counts.
+
+        Below the threshold everything stays small; above it, large
+        instances carry the bulk and small ones the remainder.
+        """
+        if target_cores < self.large_threshold:
+            return 0, max(1, target_cores)
+        large = target_cores // self.large_cores
+        small = target_cores - large * self.large_cores
+        return large, small
+
+    def _census(self) -> Tuple[List[AppInstance], List[AppInstance]]:
+        small, large = [], []
+        for inst in self._fleet.active_instances:
+            (large if inst.vm.allocated_cores > 1 else small).append(inst)
+        return small, large
+
+    def on_estimate(self, predicted_rate: float) -> None:
+        """Analyzer callback — re-plan the class mix."""
+        tm = self._monitor.mean_service_time()
+        # The monitored Tm mixes speeds; correct back to single-core
+        # time using the current weighted average speed.
+        small, large = self._census()
+        total_cores_now = len(small) + self.large_cores * len(large)
+        instances_now = len(small) + len(large)
+        avg_speed = (total_cores_now / instances_now) if instances_now else 1.0
+        tm_base = tm * avg_speed
+        decision = self._modeler.decide(
+            predicted_rate, tm_base, max(1, total_cores_now)
+        )
+        target_cores = decision.instances
+        want_large, want_small = self.plan(target_cores)
+        self._actuate(want_large, want_small)
+        self.actions.append(
+            MixedFleetAction(
+                time=self._engine.now,
+                predicted_rate=predicted_rate,
+                target_cores=target_cores,
+                large_instances=want_large,
+                small_instances=want_small,
+            )
+        )
+
+    def _actuate(self, want_large: int, want_small: int) -> None:
+        fleet = self._fleet
+        small, large = self._census()
+        # Grow/shrink the large class first (bulk capacity).
+        for _ in range(max(0, want_large - len(large))):
+            if not self._grow_one(self.large_spec, self.large_cores):
+                break
+        for inst in large[want_large:]:
+            fleet.scale_down_instance(inst)
+        # Then the small class.
+        for _ in range(max(0, want_small - len(small))):
+            if not self._grow_one(fleet.vm_spec, 1):
+                break
+        for inst in small[want_small:]:
+            fleet.scale_down_instance(inst)
+
+    def _grow_one(self, spec: VMSpec, speed: int) -> bool:
+        inst = self._fleet.grow_with_spec(spec)
+        if inst is None:
+            return False
+        inst.speed = float(speed)
+        # A c-core instance absorbs c small-instance queues while
+        # keeping the same per-request deadline bound (k·c requests,
+        # each finished c× faster).
+        inst.capacity = self._fleet.capacity * speed
+        return True
+
+
+class MixedFleetPolicy(ProvisioningPolicy):
+    """Adaptive provisioning over heterogeneous VM classes.
+
+    Parameters
+    ----------
+    large_cores:
+        Core count of the large class (paper hosts fit up to 8).
+    large_threshold:
+        Core requirement below which only small VMs are used.
+    update_interval, lead_time, rho_max, predictor_factory:
+        As for :class:`~repro.core.policies.AdaptivePolicy`.
+    """
+
+    name = "Mixed"
+
+    def __init__(
+        self,
+        large_cores: int = 4,
+        large_threshold: int = 8,
+        update_interval: float = 900.0,
+        lead_time: float = 60.0,
+        rho_max: float = 0.85,
+        predictor_factory: Callable[[SimulationContext], ArrivalRatePredictor] = default_predictor,
+    ) -> None:
+        self.large_cores = int(large_cores)
+        self.large_threshold = int(large_threshold)
+        self.update_interval = float(update_interval)
+        self.lead_time = float(lead_time)
+        self.rho_max = float(rho_max)
+        self.predictor_factory = predictor_factory
+        self.name = f"Mixed-{large_cores}c"
+
+    def attach(self, ctx: SimulationContext) -> None:
+        modeler = PerformanceModeler(
+            qos=ctx.qos,
+            capacity=ctx.capacity,
+            max_vms=ctx.datacenter.max_vms(ctx.fleet.vm_spec),
+            rho_max=self.rho_max,
+        )
+        provisioner = MixedFleetProvisioner(
+            engine=ctx.engine,
+            fleet=ctx.fleet,
+            modeler=modeler,
+            monitor=ctx.monitor,
+            large_cores=self.large_cores,
+            large_threshold=self.large_threshold,
+        )
+        analyzer = WorkloadAnalyzer(
+            engine=ctx.engine,
+            predictor=self.predictor_factory(ctx),
+            on_estimate=provisioner.on_estimate,
+            horizon=ctx.horizon,
+            update_interval=self.update_interval,
+            lead_time=self.lead_time,
+            monitor=ctx.monitor,
+        )
+        analyzer.start()
+        ctx.provisioner = provisioner
+        ctx.analyzer = analyzer

@@ -1,0 +1,267 @@
+"""Load predictor & performance modeler — Algorithm 1.
+
+This component (paper §IV-B) "solves an analytical model based on the
+observed system performance and predicted load to decide the number of
+VM instances that should be allocated to an application".  The model is
+the Figure-2 queueing network (:class:`repro.queueing.ProvisioningNetwork`):
+an M/M/∞ dispatch station feeding ``m`` parallel M/M/1/k instances,
+each offered ``λ/m``.
+
+Algorithm 1 (reproduced faithfully, with two documented fixes):
+
+1. start from the current fleet size ``m``; bounds ``min = 1``,
+   ``max = MaxVMs``;
+2. evaluate blocking ``Pr(S_k)`` and response time ``T_q`` at ``m``;
+3. if QoS is not met: record ``m`` as insufficient (``min ← oldm + 1``
+   — the paper prints ``min ← m + 1`` *after* growing ``m``, which
+   would push the lower bound above the candidate; we use the evident
+   intent), grow ``m ← m + m/2`` capped at ``max``;
+4. else if predicted utilization is below the threshold: ``max ← m``,
+   bisect down ``m ← min + (max − min)/2``, reverting to ``oldm`` when
+   the bisection cannot move;
+5. stop when ``m`` does not change (plus an explicit ``min > max``
+   guard, the second fix).
+
+QoS-check calibration (DESIGN.md §3): the scenarios declare a 0 %
+rejection *target* while the reported fleet sizes correspond to
+per-instance loads ρ ≈ 0.8–0.85 — where an M/M/1/2 model predicts ~26 %
+blocking but the low-variability simulated workload rejects ≈ nothing.
+The modeler therefore accepts a candidate when its *offered load* stays
+below ``rho_max`` (default 0.85): the blocking tolerance is derived as
+``mm1k_blocking(rho_max, k)`` so the check is still expressed in the
+paper's terms (``Pr(S_k)`` against a tolerance) and still responds to
+``k``.  Utilization in step 4 is predicted as offered load ``ρ`` capped
+at 1 — the carried load of a lightly-variable system.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import ConfigurationError
+from ..queueing.mm1k import MM1KQueue, mm1k_blocking
+from ..queueing.network import NetworkPerformance, ProvisioningNetwork
+from .qos import QoSTarget
+
+__all__ = ["ProvisioningDecision", "PerformanceModeler"]
+
+
+@dataclass(frozen=True)
+class ProvisioningDecision:
+    """Outcome of one Algorithm-1 run.
+
+    Attributes
+    ----------
+    instances:
+        The fleet size ``m`` selected.
+    predicted:
+        Network performance at the selected ``m``.
+    iterations:
+        Search iterations used (the algorithm's loop count).
+    meets_qos:
+        Whether the selected ``m`` satisfies the QoS check (it may not
+        when ``MaxVMs`` caps the search).
+    trace:
+        Sequence of candidate fleet sizes examined, for diagnostics.
+    """
+
+    instances: int
+    predicted: NetworkPerformance
+    iterations: int
+    meets_qos: bool
+    trace: List[int] = field(default_factory=list)
+
+
+class PerformanceModeler:
+    """Runs Algorithm 1 against the analytical network model.
+
+    Parameters
+    ----------
+    qos:
+        The application's QoS contract.
+    capacity:
+        Per-instance queue capacity ``k`` (Eq. 1).
+    max_vms:
+        ``MaxVMs`` — quota negotiated with the IaaS provider.
+    min_vms:
+        Floor on the fleet size (≥ 1).
+    rho_max:
+        Maximum acceptable per-instance offered load; the blocking
+        tolerance is ``mm1k_blocking(rho_max, k)`` unless
+        ``rejection_tolerance`` is given explicitly.
+    rejection_tolerance:
+        Explicit override of the predicted-blocking tolerance.
+    instance_model:
+        Queue-model factory ``(lam, mu, k) -> QueueModel`` for each
+        instance station (ablations swap in M/D/1/K etc.).
+    dispatch_time:
+        Mean delay of the M/M/∞ dispatch station (default 0).
+    response_percentile:
+        When set (e.g. 0.95), the QoS check requires the *percentile*
+        of the per-instance sojourn distribution — not just its mean —
+        to stay within ``Ts``.  A §VII-style richer QoS target; needs
+        an instance model exposing ``response_time_quantile`` (the
+        default M/M/1/K does).
+    """
+
+    def __init__(
+        self,
+        qos: QoSTarget,
+        capacity: int,
+        max_vms: int,
+        min_vms: int = 1,
+        rho_max: float = 0.85,
+        rejection_tolerance: Optional[float] = None,
+        instance_model: Callable[[float, float, int], object] = MM1KQueue,
+        dispatch_time: float = 0.0,
+        response_percentile: Optional[float] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity k must be >= 1, got {capacity}")
+        if min_vms < 1 or max_vms < min_vms:
+            raise ConfigurationError(
+                f"need 1 <= min_vms <= max_vms, got min={min_vms} max={max_vms}"
+            )
+        if not 0.0 < rho_max < 1.0:
+            raise ConfigurationError(f"rho_max must be in (0, 1), got {rho_max!r}")
+        self.qos = qos
+        self.capacity = int(capacity)
+        self.max_vms = int(max_vms)
+        self.min_vms = int(min_vms)
+        self.rho_max = float(rho_max)
+        if rejection_tolerance is None:
+            rejection_tolerance = mm1k_blocking(rho_max, capacity)
+        if not 0.0 <= rejection_tolerance <= 1.0:
+            raise ConfigurationError(
+                f"rejection tolerance must be in [0, 1], got {rejection_tolerance!r}"
+            )
+        self.rejection_tolerance = float(rejection_tolerance)
+        if response_percentile is not None and not 0.0 < response_percentile < 1.0:
+            raise ConfigurationError(
+                f"response percentile must be in (0, 1), got {response_percentile!r}"
+            )
+        self.response_percentile = response_percentile
+        self._instance_model = instance_model
+        self._dispatch_time = float(dispatch_time)
+
+    # ------------------------------------------------------------------
+    def _network(self, service_time: float) -> ProvisioningNetwork:
+        return ProvisioningNetwork(
+            service_time=service_time,
+            capacity=self.capacity,
+            dispatch_time=self._dispatch_time,
+            instance_model=self._instance_model,
+        )
+
+    def meets_qos(self, perf: NetworkPerformance) -> bool:
+        """The paper's line-9 test: do ``Pr(S_k)`` and ``T_q`` meet QoS?"""
+        if not (
+            perf.blocking_probability <= self.rejection_tolerance
+            and perf.response_time <= self.qos.max_response_time
+            and perf.rho <= self.rho_max
+        ):
+            return False
+        if self.response_percentile is not None:
+            if perf.per_instance_lambda <= 0.0 or perf.rho <= 0.0:
+                return True  # no traffic: nothing can be late
+            # Recover the service rate from the performance record so
+            # this check needs no hidden state: mu = lam_i / rho.
+            mu = perf.per_instance_lambda / perf.rho
+            station = self._instance_model(perf.per_instance_lambda, mu, self.capacity)
+            quantile = getattr(station, "response_time_quantile", None)
+            if quantile is None:
+                raise ConfigurationError(
+                    f"{type(station).__name__} does not expose "
+                    "response_time_quantile; percentile QoS needs it"
+                )
+            if quantile(self.response_percentile) > self.qos.max_response_time:
+                return False
+        return True
+
+    def predicted_utilization(self, perf: NetworkPerformance) -> float:
+        """Offered per-instance load capped at 1 (see module docstring)."""
+        return min(1.0, perf.rho)
+
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        arrival_rate: float,
+        service_time: float,
+        current_instances: int,
+    ) -> ProvisioningDecision:
+        """Run Algorithm 1 and return the target fleet size.
+
+        Parameters
+        ----------
+        arrival_rate:
+            ``λ`` — the analyzer's predicted request arrival rate.
+        service_time:
+            ``T_m`` — the monitored average request execution time.
+        current_instances:
+            The fleet size the search starts from (Algorithm 1 line 1).
+        """
+        if arrival_rate < 0.0 or not math.isfinite(arrival_rate):
+            raise ConfigurationError(
+                f"arrival rate must be finite and >= 0, got {arrival_rate!r}"
+            )
+        if service_time <= 0.0 or not math.isfinite(service_time):
+            raise ConfigurationError(
+                f"service time must be finite and > 0, got {service_time!r}"
+            )
+        net = self._network(service_time)
+        if arrival_rate == 0.0:
+            # No expected traffic: the floor fleet.  (The paper's search
+            # cannot reach its own lower bound because line 18 reverts
+            # any bisection that lands on it; short-circuit instead.)
+            perf = net.evaluate(0.0, self.min_vms)
+            return ProvisioningDecision(
+                instances=self.min_vms,
+                predicted=perf,
+                iterations=0,
+                meets_qos=self.meets_qos(perf),
+                trace=[self.min_vms],
+            )
+        lo, hi = self.min_vms, self.max_vms
+        m = min(max(int(current_instances), lo), hi)
+        trace: List[int] = []
+        iterations = 0
+        # The search space is [1, MaxVMs]; each iteration either grows m
+        # geometrically or halves the bracket, so 4·log2(MaxVMs) + a
+        # constant bounds the loop.  The explicit cap is a safety net.
+        max_iterations = 8 * (int(math.log2(max(2, self.max_vms))) + 2)
+        while True:
+            iterations += 1
+            oldm = m
+            trace.append(m)
+            perf = net.evaluate(arrival_rate, m)
+            if not self.meets_qos(perf):
+                lo = oldm + 1  # documented fix of paper line 11
+                m = m + max(1, m // 2)  # line 10 (integer semantics)
+                if m > hi:
+                    m = hi
+                if lo > hi:  # nothing feasible: run at the quota
+                    m = hi
+                    break
+            elif self.predicted_utilization(perf) < self.qos.min_utilization:
+                hi = m  # line 16
+                m = lo + (hi - lo) // 2  # line 17
+                if m <= lo:
+                    m = oldm  # lines 18–19
+            if m == oldm or iterations >= max_iterations:
+                break
+        final = net.evaluate(arrival_rate, m)
+        return ProvisioningDecision(
+            instances=m,
+            predicted=final,
+            iterations=iterations,
+            meets_qos=self.meets_qos(final),
+            trace=trace,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<PerformanceModeler k={self.capacity} max_vms={self.max_vms} "
+            f"rho_max={self.rho_max} tol={self.rejection_tolerance:.4f}>"
+        )

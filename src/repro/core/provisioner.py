@@ -1,0 +1,120 @@
+"""Application provisioner — the decision-to-actuation bridge.
+
+"VM and application provisioning is performed by the application
+provisioner component based on the estimated number of application
+instances calculated by the load predictor and performance modeler"
+(paper §IV-C).  :class:`ApplicationProvisioner` receives each analyzer
+estimate, obtains the monitored mean service time ``T_m``, runs the
+performance modeler (Algorithm 1), and instructs the fleet to scale —
+the fleet implements the idle-first / graceful-drain mechanics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..cloud.fleet import ApplicationFleet
+from ..cloud.monitor import Monitor
+from ..errors import ConfigurationError
+from ..sim.engine import Engine
+from .modeler import PerformanceModeler, ProvisioningDecision
+
+__all__ = ["ScalingAction", "ApplicationProvisioner"]
+
+
+@dataclass(frozen=True)
+class ScalingAction:
+    """One provisioning actuation, kept for diagnostics and figures.
+
+    Attributes
+    ----------
+    time:
+        When the decision was actuated.
+    predicted_rate:
+        The analyzer's ``λ`` estimate that triggered it.
+    service_time:
+        The monitored ``T_m`` used.
+    before, target, after:
+        Serving fleet size before the action, the modeler's target, and
+        the size actually reached (placement limits may cap growth).
+    decision:
+        The full Algorithm-1 outcome.
+    """
+
+    time: float
+    predicted_rate: float
+    service_time: float
+    before: int
+    target: int
+    after: int
+    decision: ProvisioningDecision
+
+
+class ApplicationProvisioner:
+    """Scales the fleet on every analyzer estimate.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine (for timestamps).
+    fleet:
+        The actuation target.
+    modeler:
+        Algorithm-1 implementation.
+    monitor:
+        Source of the monitored mean service time ``T_m``.
+    initial_instances:
+        Fleet size deployed before the first request arrives.  The
+        default of 0 lets the analyzer's time-zero alert size the
+        initial fleet, so the run's minimum-instances metric reflects
+        steady off-peak operation rather than a cold-start artifact.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        fleet: ApplicationFleet,
+        modeler: PerformanceModeler,
+        monitor: Monitor,
+        initial_instances: int = 0,
+    ) -> None:
+        if initial_instances < 0:
+            raise ConfigurationError(
+                f"initial fleet size must be >= 0, got {initial_instances}"
+            )
+        self._engine = engine
+        self._fleet = fleet
+        self._modeler = modeler
+        self._monitor = monitor
+        self.initial_instances = int(initial_instances)
+        #: Actuation log in time order.
+        self.actions: List[ScalingAction] = []
+
+    def start(self) -> None:
+        """Deploy the initial fleet (call before the run starts).
+
+        With ``initial_instances == 0`` this is a no-op and the first
+        analyzer alert (scheduled at time zero, before any arrival)
+        performs the initial sizing.
+        """
+        if self.initial_instances > 0:
+            self._fleet.scale_to(self.initial_instances)
+
+    def on_estimate(self, predicted_rate: float) -> None:
+        """Analyzer callback: run Algorithm 1 and actuate the result."""
+        tm = self._monitor.mean_service_time()
+        before = self._fleet.serving_count
+        decision = self._modeler.decide(predicted_rate, tm, max(1, before))
+        after = self._fleet.scale_to(decision.instances)
+        self.actions.append(
+            ScalingAction(
+                time=self._engine.now,
+                predicted_rate=predicted_rate,
+                service_time=tm,
+                before=before,
+                target=decision.instances,
+                after=after,
+                decision=decision,
+            )
+        )

@@ -1,0 +1,101 @@
+"""QoS targets and the Eq. 1 queue-capacity rule.
+
+The paper's QoS contract has two end-user-visible targets — the
+negotiated maximum response time ``Ts`` and the maximum request
+rejection rate ``Rej(Gs)`` — plus one provider-side efficiency target,
+the minimum resource-utilization threshold (80 % in both evaluation
+scenarios).
+
+Eq. 1 couples the targets to the admission controller:
+``k = ⌊Ts / Tr⌋`` — with at most ``k`` requests per instance, every
+*accepted* request is expected to finish within ``Ts``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["QoSTarget"]
+
+
+@dataclass(frozen=True)
+class QoSTarget:
+    """The negotiated QoS contract of one application.
+
+    Attributes
+    ----------
+    max_response_time:
+        ``Ts`` — negotiated maximum response time of a request (s).
+    max_rejection_rate:
+        ``Rej(Gs)`` target — maximum acceptable fraction of rejected
+        requests (the paper's scenarios use 0.0: "the system is
+        required to serve all requests").
+    min_utilization:
+        Provider-side minimum resource-utilization threshold (paper:
+        0.80); Algorithm 1 shrinks the fleet when predicted utilization
+        falls below it.
+    """
+
+    max_response_time: float
+    max_rejection_rate: float = 0.0
+    min_utilization: float = 0.80
+
+    def __post_init__(self) -> None:
+        if not (self.max_response_time > 0.0 and math.isfinite(self.max_response_time)):
+            raise ConfigurationError(
+                f"Ts must be finite and > 0, got {self.max_response_time!r}"
+            )
+        if not 0.0 <= self.max_rejection_rate <= 1.0:
+            raise ConfigurationError(
+                f"rejection target must be in [0, 1], got {self.max_rejection_rate!r}"
+            )
+        if not 0.0 <= self.min_utilization < 1.0:
+            raise ConfigurationError(
+                f"minimum utilization must be in [0, 1), got {self.min_utilization!r}"
+            )
+
+    def queue_capacity(self, service_time: float) -> int:
+        """Eq. 1: ``k = ⌊Ts / Tr⌋`` given the request execution time.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``service_time`` is non-positive or exceeds ``Ts`` (then
+            even an empty instance cannot meet the deadline and no
+            admission threshold exists).
+
+        Examples
+        --------
+        >>> QoSTarget(max_response_time=0.250).queue_capacity(0.100)
+        2
+        >>> QoSTarget(max_response_time=700.0).queue_capacity(300.0)
+        2
+        """
+        if service_time <= 0.0 or not math.isfinite(service_time):
+            raise ConfigurationError(
+                f"service time must be finite and > 0, got {service_time!r}"
+            )
+        k = int(self.max_response_time // service_time)
+        if k < 1:
+            raise ConfigurationError(
+                f"Ts={self.max_response_time}s is smaller than one service time "
+                f"({service_time}s); no queue capacity can satisfy the deadline"
+            )
+        return k
+
+    def scaled(self, factor: float) -> "QoSTarget":
+        """QoS contract matching a rate/service rescaled workload.
+
+        ``Ts`` scales with service times (DESIGN.md §4); the rejection
+        and utilization targets are dimensionless and unchanged.
+        """
+        if factor <= 0.0 or not math.isfinite(factor):
+            raise ConfigurationError(f"scale factor must be finite and > 0, got {factor!r}")
+        return QoSTarget(
+            max_response_time=self.max_response_time * factor,
+            max_rejection_rate=self.max_rejection_rate,
+            min_utilization=self.min_utilization,
+        )

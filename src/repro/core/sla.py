@@ -1,0 +1,181 @@
+"""SLA economics — the paper's final future-work item (§VII).
+
+"For the latter scenario, we will also address the problem of SLA
+management for trade-offs of QoS between different requests,
+potentially with different priorities and incentives, in order to
+effectively manage QoS violations."
+
+This module adds the *incentive* layer on top of the priority
+extension:
+
+* :class:`SLAContract` — the economics of one request class: revenue
+  earned per served request, penalty per rejection, penalty per late
+  (QoS-violating) response.
+* :class:`SLAPortfolio` — a set of contracts with the derived *value
+  ranking*: a class's marginal value of one served request is
+  ``revenue + rejection_penalty`` (serving it both earns and avoids
+  paying).
+* :class:`SLAAwareAdmission` — trunk reservation whose per-class
+  barriers follow the value ranking: the most valuable class sees no
+  barrier, each next class must leave ``reservation_step`` more slots
+  free.  Under contention, capacity automatically flows to the
+  contracts where it is worth most; under light load every class is
+  served (barriers only bind when slots run out).
+* :meth:`SLAAwareAdmission.profit` — the realized income of the run,
+  the quantity the SLA-management benchmark maximizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..cloud.fleet import ApplicationFleet
+from ..cloud.monitor import Monitor
+from ..cloud.priority import PriorityClassStats
+from ..errors import ConfigurationError
+
+__all__ = ["SLAContract", "SLAPortfolio", "SLAAwareAdmission"]
+
+
+@dataclass(frozen=True)
+class SLAContract:
+    """Economic terms of one request class.
+
+    Attributes
+    ----------
+    name:
+        Class key carried by requests.
+    revenue_per_request:
+        Income per successfully served request.
+    rejection_penalty:
+        Cost per rejected request (SLA credit, churn, bad press).
+    violation_penalty:
+        Cost per served-but-late request.  With Eq.-1 admission this is
+        structurally zero, but contracts carry it so relaxed admission
+        schemes can be evaluated too.
+    """
+
+    name: str
+    revenue_per_request: float
+    rejection_penalty: float = 0.0
+    violation_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.revenue_per_request < 0.0:
+            raise ConfigurationError(
+                f"contract {self.name!r}: revenue must be >= 0"
+            )
+        if self.rejection_penalty < 0.0 or self.violation_penalty < 0.0:
+            raise ConfigurationError(
+                f"contract {self.name!r}: penalties must be >= 0"
+            )
+
+    @property
+    def marginal_value(self) -> float:
+        """Value of serving one request: revenue plus avoided penalty."""
+        return self.revenue_per_request + self.rejection_penalty
+
+
+class SLAPortfolio:
+    """An application's set of SLA contracts, ranked by value."""
+
+    def __init__(self, contracts: Sequence[SLAContract]) -> None:
+        if not contracts:
+            raise ConfigurationError("a portfolio needs at least one contract")
+        names = [c.name for c in contracts]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate contract names: {names}")
+        self.contracts: Dict[str, SLAContract] = {c.name: c for c in contracts}
+        #: Contract names from most to least valuable.
+        self.ranking: List[str] = [
+            c.name
+            for c in sorted(
+                contracts, key=lambda c: (-c.marginal_value, c.name)
+            )
+        ]
+
+    def rank(self, name: str) -> int:
+        """0 = most valuable.  KeyError-free: unknown classes rank last."""
+        try:
+            return self.ranking.index(name)
+        except ValueError:
+            return len(self.ranking)
+
+    def __getitem__(self, name: str) -> SLAContract:
+        return self.contracts[name]
+
+
+class SLAAwareAdmission:
+    """Value-ranked trunk reservation over the fleet's bounded queues.
+
+    Parameters
+    ----------
+    fleet, monitor:
+        The dispatch target and the run-level metric sink.
+    portfolio:
+        The SLA contracts.
+    reservation_step:
+        Extra free slots each lower-ranked class must leave untouched.
+        0 disables differentiation (flat admission).
+    """
+
+    def __init__(
+        self,
+        fleet: ApplicationFleet,
+        monitor: Monitor,
+        portfolio: SLAPortfolio,
+        reservation_step: int = 0,
+    ) -> None:
+        if reservation_step < 0:
+            raise ConfigurationError(
+                f"reservation step must be >= 0, got {reservation_step}"
+            )
+        self._fleet = fleet
+        self._monitor = monitor
+        self.portfolio = portfolio
+        self.reservation_step = int(reservation_step)
+        self.per_class: Dict[str, PriorityClassStats] = {
+            name: PriorityClassStats() for name in portfolio.ranking
+        }
+
+    def free_slots(self) -> int:
+        """Unoccupied request slots across the ACTIVE fleet."""
+        return sum(
+            inst.capacity - inst.occupancy for inst in self._fleet.active_instances
+        )
+
+    def barrier(self, klass: str) -> int:
+        """Free slots a class must leave untouched (0 = top class)."""
+        return self.portfolio.rank(klass) * self.reservation_step
+
+    def submit(self, arrival_time: float, klass: str) -> bool:
+        """Admit or reject one request of contract class ``klass``."""
+        stats = self.per_class.setdefault(klass, PriorityClassStats())
+        barrier = self.barrier(klass)
+        if barrier > 0 and self.free_slots() <= barrier:
+            stats.rejected += 1
+            self._monitor.record_rejection()
+            return False
+        if self._fleet.dispatch(arrival_time):
+            stats.accepted += 1
+            self._monitor.record_acceptance()
+            return True
+        stats.rejected += 1
+        self._monitor.record_rejection()
+        return False
+
+    def profit(self) -> float:
+        """Realized income: Σ served·revenue − rejected·penalty.
+
+        Violation penalties would be added from per-class violation
+        counts; with Eq.-1 admission they are structurally zero.
+        """
+        total = 0.0
+        for name, stats in self.per_class.items():
+            if name not in self.portfolio.contracts:
+                continue
+            contract = self.portfolio[name]
+            total += stats.accepted * contract.revenue_per_request
+            total -= stats.rejected * contract.rejection_penalty
+        return total

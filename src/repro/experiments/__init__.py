@@ -1,0 +1,55 @@
+"""Experiment harness: scenarios, runner, and figure regeneration.
+
+* :func:`web_scenario` / :func:`scientific_scenario` — the paper's two
+  evaluation setups (§V-B), optionally rate-rescaled.
+* :func:`run_policy` / :func:`run_replications` — one DES replication
+  of (scenario, policy) → :class:`RunResult`.
+* :mod:`repro.experiments.figures` — one function per paper artifact.
+* ``repro-experiments`` CLI (:mod:`repro.experiments.cli`).
+"""
+
+from .figures import (
+    SCI_STATIC_SIZES,
+    WEB_STATIC_SIZES,
+    FigureData,
+    fig3_data,
+    fig4_data,
+    fig5_data,
+    fig5_fluid_fullscale,
+    fig6_data,
+    fig6_fluid_fullscale,
+    fluid_policy_comparison,
+    policy_comparison,
+    table2_data,
+    workload_analysis_data,
+)
+from .persist import load_results, result_from_dict, result_to_dict, save_results
+from .runner import RunResult, build_context, run_policy, run_replications
+from .scenario import ScenarioConfig, scientific_scenario, web_scenario
+
+__all__ = [
+    "ScenarioConfig",
+    "web_scenario",
+    "scientific_scenario",
+    "RunResult",
+    "build_context",
+    "run_policy",
+    "run_replications",
+    "FigureData",
+    "table2_data",
+    "fig3_data",
+    "fig4_data",
+    "fig5_data",
+    "fig6_data",
+    "fig5_fluid_fullscale",
+    "fig6_fluid_fullscale",
+    "policy_comparison",
+    "fluid_policy_comparison",
+    "workload_analysis_data",
+    "WEB_STATIC_SIZES",
+    "SCI_STATIC_SIZES",
+    "save_results",
+    "load_results",
+    "result_to_dict",
+    "result_from_dict",
+]

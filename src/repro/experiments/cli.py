@@ -1,0 +1,121 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments list
+    repro-experiments run table2
+    repro-experiments run fig5 --scale 500 --seeds 0,1 --out results/
+    repro-experiments run fig5-fluid
+    repro-experiments run all --quick
+
+Each experiment prints its table to stdout; ``--out DIR`` additionally
+writes ``<experiment>.md`` (markdown table) and ``<experiment>.csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..metrics.report import format_markdown_table, format_table
+from ..sim.calendar import SECONDS_PER_DAY, SECONDS_PER_WEEK
+from . import figures
+
+__all__ = ["main", "available_experiments"]
+
+
+def available_experiments() -> Dict[str, str]:
+    """Mapping of experiment id → description."""
+    return {
+        "table2": "Table II: web workload min/max rates per weekday",
+        "fig3": "Figure 3: web arrival-rate curve over one week",
+        "fig4": "Figure 4: scientific arrival rates over one day",
+        "fig5": "Figure 5: web policy comparison (DES, rate-scaled)",
+        "fig6": "Figure 6: scientific policy comparison (DES, full scale)",
+        "fig5-fluid": "Figure 5 at full paper scale (fluid engine)",
+        "fig6-fluid": "Figure 6 cross-check (fluid engine)",
+        "workload-analysis": "Contribution 2: workload characterization + provisioning feedback",
+    }
+
+
+def _parse_seeds(spec: str) -> List[int]:
+    try:
+        return [int(s) for s in spec.split(",") if s != ""]
+    except ValueError as exc:
+        raise SystemExit(f"bad --seeds value {spec!r}: {exc}")
+
+
+def _build(experiment: str, args: argparse.Namespace) -> "figures.FigureData":
+    seeds = _parse_seeds(args.seeds)
+    quick = args.quick
+    if experiment == "table2":
+        return figures.table2_data()
+    if experiment == "fig3":
+        return figures.fig3_data(sampled=not quick)
+    if experiment == "fig4":
+        return figures.fig4_data(seed=seeds[0])
+    if experiment == "fig5":
+        horizon = SECONDS_PER_DAY if quick else SECONDS_PER_WEEK
+        return figures.fig5_data(scale=args.scale, seeds=seeds, horizon=horizon)
+    if experiment == "fig6":
+        return figures.fig6_data(seeds=seeds)
+    if experiment == "fig5-fluid":
+        return figures.fig5_fluid_fullscale()
+    if experiment == "fig6-fluid":
+        return figures.fig6_fluid_fullscale()
+    if experiment == "workload-analysis":
+        return figures.workload_analysis_data(seed=seeds[0])
+    raise SystemExit(f"unknown experiment {experiment!r}; try 'list'")
+
+
+def _write_outputs(data: "figures.FigureData", out_dir: Path) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    md = out_dir / f"{data.experiment_id}.md"
+    md.write_text(
+        f"# {data.title}\n\n" + format_markdown_table(data.headers, data.rows) + "\n"
+    )
+    csv_path = out_dir / f"{data.experiment_id}.csv"
+    with csv_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(data.headers)
+        writer.writerows(data.rows)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of Calheiros et al., ICPP 2011.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    runp.add_argument("--scale", type=float, default=200.0, help="web DES rate-scale factor (default 200)")
+    runp.add_argument("--seeds", default="0", help="comma-separated replication seeds")
+    runp.add_argument("--out", default=None, help="directory for .md/.csv outputs")
+    runp.add_argument("--quick", action="store_true", help="shorter horizons for smoke runs")
+    args = parser.parse_args(argv)
+
+    if args.command == "list" or args.command is None:
+        for eid, desc in available_experiments().items():
+            print(f"{eid:12s} {desc}")
+        return 0
+
+    targets = (
+        list(available_experiments()) if args.experiment == "all" else [args.experiment]
+    )
+    for experiment in targets:
+        data = _build(experiment, args)
+        print(format_table(data.headers, data.rows, title=data.title))
+        print()
+        if args.out:
+            _write_outputs(data, Path(args.out))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Result persistence — JSON round-tripping of experiment outputs.
+
+Long parameter sweeps (the Figure-5 week at low scale factors takes
+minutes) should never have to be re-run to re-tabulate: the runner's
+:class:`~repro.experiments.runner.RunResult` and the fluid engine's
+:class:`~repro.sim.fluid.FluidResult` serialize to plain JSON with a
+format header, so saved result sets survive library upgrades with an
+explicit version check instead of a silent misparse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from ..errors import ConfigurationError
+from ..sim.fluid import FluidResult
+from .runner import RunResult
+
+__all__ = ["result_to_dict", "result_from_dict", "save_results", "load_results"]
+
+#: Format identifier written into every results file.
+_FORMAT = "repro-results"
+_VERSION = 1
+
+_KIND_TO_TYPE = {"run": RunResult, "fluid": FluidResult}
+
+
+def result_to_dict(result: Union[RunResult, FluidResult]) -> dict:
+    """Serialize one result to a JSON-safe dict (with a ``kind`` tag)."""
+    if isinstance(result, RunResult):
+        kind = "run"
+    elif isinstance(result, FluidResult):
+        kind = "fluid"
+    else:
+        raise ConfigurationError(
+            f"cannot serialize {type(result).__name__}; expected RunResult or FluidResult"
+        )
+    payload = dataclasses.asdict(result)
+    # Tuples (fleet series) become lists in JSON; normalized on load.
+    return {"kind": kind, "data": payload}
+
+
+def result_from_dict(blob: dict) -> Union[RunResult, FluidResult]:
+    """Inverse of :func:`result_to_dict`."""
+    kind = blob.get("kind")
+    cls = _KIND_TO_TYPE.get(kind)
+    if cls is None:
+        raise ConfigurationError(f"unknown result kind {kind!r}")
+    data = dict(blob["data"])
+    if "fleet_series" in data:
+        data["fleet_series"] = tuple(tuple(point) for point in data["fleet_series"])
+    return cls(**data)
+
+
+def save_results(
+    path: Union[str, Path], results: Sequence[Union[RunResult, FluidResult]]
+) -> None:
+    """Write a result set to ``path`` as versioned JSON."""
+    path = Path(path)
+    doc = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "results": [result_to_dict(r) for r in results],
+    }
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True))
+
+
+def load_results(path: Union[str, Path]) -> List[Union[RunResult, FluidResult]]:
+    """Load a result set written by :func:`save_results`.
+
+    Raises
+    ------
+    ConfigurationError
+        If the file is not a repro results file or has an unsupported
+        format version.
+    """
+    path = Path(path)
+    doc = json.loads(path.read_text())
+    if doc.get("format") != _FORMAT:
+        raise ConfigurationError(f"{path}: not a repro results file")
+    if doc.get("version") != _VERSION:
+        raise ConfigurationError(
+            f"{path}: unsupported results version {doc.get('version')!r} "
+            f"(this build reads version {_VERSION})"
+        )
+    return [result_from_dict(blob) for blob in doc["results"]]

@@ -1,0 +1,209 @@
+"""Experiment runner — builds, runs, and summarizes simulations.
+
+One :func:`run_policy` call = one replication of (scenario, policy):
+it wires the data plane (engine, data center, fleet, monitor, metrics,
+admission, source), attaches the policy's control plane, runs the
+event loop to the horizon, and returns a :class:`RunResult` with the
+paper's output metrics — response times normalized back to paper scale
+when the scenario is rescaled.
+
+Replications use spawned random streams (seed 0, 1, 2 …), so each is
+independent yet exactly reproducible, and policies compared on the same
+replication index share identical arrival streams (common random
+numbers — the variance-reduction discipline the static-vs-adaptive
+comparison benefits from).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..cloud.admission import AdmissionControl
+from ..cloud.broker import WorkloadSource
+from ..cloud.datacenter import Datacenter
+from ..cloud.fleet import ApplicationFleet
+from ..cloud.monitor import Monitor
+from ..cloud.loadbalancer import LoadBalancer
+from ..core.context import SimulationContext
+from ..core.policies import ProvisioningPolicy
+from ..metrics.collector import MetricsCollector
+from ..sim.engine import Engine
+from ..sim.rng import RandomStreams
+from .scenario import ScenarioConfig
+
+__all__ = ["RunResult", "build_context", "run_policy", "run_replications"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Output metrics of one replication (paper-scale normalized).
+
+    Attributes
+    ----------
+    scenario, policy, seed:
+        Identification of the run.
+    total_requests, accepted, rejected:
+        Arrival accounting.
+    rejection_rate:
+        Fraction of arrivals rejected.
+    mean_response_time, response_time_std:
+        Accepted-request response statistics, divided by the scenario
+        scale factor so they are directly comparable to the paper.
+    qos_violations:
+        Accepted requests that exceeded ``T_s``.
+    min_instances, max_instances:
+        Fleet-size extrema observed during the run.
+    vm_hours:
+        Σ instance wall-clock lifetime in hours (Figure 5(c)/6(c)).
+    core_hours:
+        Σ allocated cores × wall-clock hours; equals ``vm_hours`` for
+        one-core fleets and is the cost unit that makes the
+        vertical-scaling baseline comparable.
+    failures, lost_requests:
+        Failure-injection accounting (0 without an injector).
+    utilization:
+        Busy time / provisioned VM time (Figure 5(b)/6(b)).
+    wall_seconds, events:
+        Runner diagnostics.
+    fleet_series:
+        ``(time, live_instances)`` trajectory when tracking was on.
+    """
+
+    scenario: str
+    policy: str
+    seed: int
+    total_requests: int
+    accepted: int
+    completed: int
+    rejected: int
+    rejection_rate: float
+    mean_response_time: float
+    response_time_std: float
+    qos_violations: int
+    min_instances: int
+    max_instances: int
+    vm_hours: float
+    core_hours: float
+    failures: int
+    lost_requests: int
+    utilization: float
+    wall_seconds: float
+    events: int
+    fleet_series: Tuple[Tuple[float, int], ...] = ()
+
+
+def build_context(
+    scenario: ScenarioConfig,
+    seed: int = 0,
+    balancer: Optional[LoadBalancer] = None,
+) -> SimulationContext:
+    """Wire the data plane of one replication (no policy attached)."""
+    streams = RandomStreams(seed)
+    engine = Engine()
+    workload = scenario.workload
+    metrics = MetricsCollector(
+        qos_response_time=scenario.qos.max_response_time,
+        track_fleet_series=scenario.track_fleet_series,
+    )
+    datacenter = Datacenter(
+        num_hosts=scenario.num_hosts,
+        cores_per_host=scenario.cores_per_host,
+        ram_per_host_mb=scenario.ram_per_host_mb,
+    )
+    monitor = Monitor(
+        engine=engine,
+        metrics=metrics,
+        default_service_time=workload.mean_service_time,
+        rate_sample_interval=scenario.rate_sample_interval,
+    )
+    sampler = workload.service_sampler(streams.get("service"))
+    capacity = scenario.capacity
+    fleet = ApplicationFleet(
+        engine=engine,
+        datacenter=datacenter,
+        sampler=sampler,
+        monitor=monitor,
+        metrics=metrics,
+        capacity=capacity,
+        balancer=balancer,
+        boot_delay=scenario.boot_delay,
+    )
+    admission = AdmissionControl(fleet, monitor, count_arrivals=scenario.count_arrivals)
+    source = WorkloadSource(
+        engine=engine,
+        workload=workload,
+        rng=streams.get("arrivals"),
+        admission=admission,
+        horizon=scenario.horizon,
+    )
+    return SimulationContext(
+        engine=engine,
+        streams=streams,
+        workload=workload,
+        qos=scenario.qos,
+        capacity=capacity,
+        datacenter=datacenter,
+        fleet=fleet,
+        monitor=monitor,
+        metrics=metrics,
+        admission=admission,
+        source=source,
+        horizon=scenario.horizon,
+    )
+
+
+def run_policy(
+    scenario: ScenarioConfig,
+    policy: ProvisioningPolicy,
+    seed: int = 0,
+    balancer: Optional[LoadBalancer] = None,
+) -> RunResult:
+    """Run one replication of (scenario, policy) and collect metrics."""
+    ctx = build_context(scenario, seed, balancer)
+    policy.attach(ctx)
+    ctx.source.start()
+    t_start = time.perf_counter()
+    ctx.engine.run(until=scenario.horizon)
+    wall = time.perf_counter() - t_start
+    now = ctx.engine.now
+    ctx.metrics.finalize(now, ctx.datacenter.vm_hours(now))
+    m = ctx.metrics
+    scale = scenario.scale
+    return RunResult(
+        scenario=scenario.name,
+        policy=policy.name,
+        seed=seed,
+        total_requests=m.total_requests,
+        accepted=m.accepted,
+        completed=m.completed,
+        rejected=m.rejected,
+        rejection_rate=m.rejection_rate,
+        mean_response_time=m.mean_response_time / scale,
+        response_time_std=m.response_time_std / scale,
+        qos_violations=m.violations,
+        min_instances=m.min_instances if m.min_instances is not None else 0,
+        max_instances=m.max_instances if m.max_instances is not None else 0,
+        vm_hours=m.vm_hours,
+        core_hours=ctx.datacenter.core_hours(now),
+        failures=m.failures,
+        lost_requests=m.lost_requests,
+        utilization=m.utilization,
+        wall_seconds=wall,
+        events=ctx.engine.events_fired,
+        fleet_series=tuple(m.fleet_series),
+    )
+
+
+def run_replications(
+    scenario: ScenarioConfig,
+    policy_factory: Callable[[], ProvisioningPolicy],
+    seeds: Sequence[int] = (0, 1, 2),
+) -> List[RunResult]:
+    """Run several replications with independent seeds.
+
+    ``policy_factory`` builds a fresh policy per replication so no
+    control-plane state leaks between runs.
+    """
+    return [run_policy(scenario, policy_factory(), seed=s) for s in seeds]

@@ -1,0 +1,26 @@
+"""Metrics: collection, aggregation, and reporting.
+
+* :class:`MetricsCollector` — O(1)-memory accumulation of the paper's
+  per-run output metrics (response time ± σ, rejections, QoS
+  violations, fleet extrema, VM hours, utilization).
+* :func:`summarize` / :class:`Summary` — replication statistics.
+* :func:`format_table` / :func:`format_markdown_table` — paper-style
+  result tables.
+* time-series helpers for figure regeneration.
+"""
+
+from .collector import MetricsCollector
+from .report import format_markdown_table, format_table
+from .stats import Summary, summarize
+from .timeseries import bin_counts, step_series_extrema, step_series_time_average
+
+__all__ = [
+    "MetricsCollector",
+    "Summary",
+    "summarize",
+    "format_table",
+    "format_markdown_table",
+    "bin_counts",
+    "step_series_extrema",
+    "step_series_time_average",
+]

@@ -1,0 +1,181 @@
+"""Online metric accumulation for simulation runs.
+
+The collector accumulates everything the paper reports (§V-A "output
+metrics") in O(1) memory per request:
+
+* average response time ``T_r`` of accepted requests and its standard
+  deviation (Welford's algorithm, numerically stable over 10⁶+ samples);
+* number of requests whose response time violated QoS (``T_r > T_s``);
+* percentage of rejected requests;
+* minimum / maximum number of virtualized application instances alive
+  at any single time;
+* VM hours (finalized from the data center ledger);
+* resource-utilization rate = Σ busy time / Σ VM seconds.
+
+Optionally it samples time series (arrival counts, fleet size) used to
+regenerate Figures 3, 4 and the instance-count trajectories.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Accumulates per-run output metrics.
+
+    Parameters
+    ----------
+    qos_response_time:
+        The negotiated ``T_s``; responses above it count as violations.
+    track_fleet_series:
+        When true, every fleet-size change is recorded as a
+        ``(time, instances)`` step — needed for the instance-trajectory
+        figures but off by default in the hot benchmarks.
+    """
+
+    def __init__(
+        self,
+        qos_response_time: float = math.inf,
+        track_fleet_series: bool = False,
+    ) -> None:
+        self.qos_response_time = float(qos_response_time)
+        # -- requests -------------------------------------------------
+        self.accepted = 0  # admitted by admission control
+        self.completed = 0  # finished service (response recorded)
+        self.rejected = 0
+        self.violations = 0
+        # -- failure injection ------------------------------------------
+        self.failures = 0  # instance crashes observed
+        self.lost_requests = 0  # admitted requests that died in a crash
+        # -- composite (multi-tier) deployments ---------------------------
+        self.dropped_downstream = 0  # admitted, then refused by a later tier
+        # Welford accumulators for response time.
+        self._resp_mean = 0.0
+        self._resp_m2 = 0.0
+        # -- service accounting ----------------------------------------
+        self.busy_seconds = 0.0
+        # -- fleet ------------------------------------------------------
+        self.min_instances: Optional[int] = None
+        self.max_instances: Optional[int] = None
+        self._track_series = bool(track_fleet_series)
+        self.fleet_series: List[Tuple[float, int]] = []
+        # -- finalized by the runner -------------------------------------
+        self.vm_hours = 0.0
+        self.horizon = 0.0
+
+    # ------------------------------------------------------------------
+    # hot-path recording
+    # ------------------------------------------------------------------
+    def record_acceptance(self) -> None:
+        """Record one request admitted by admission control."""
+        self.accepted += 1
+
+    def record_response(self, response_time: float, service_time: float) -> None:
+        """Record one completed request (Welford update)."""
+        self.completed += 1
+        if response_time > self.qos_response_time:
+            self.violations += 1
+        self.busy_seconds += service_time
+        delta = response_time - self._resp_mean
+        self._resp_mean += delta / self.completed
+        self._resp_m2 += delta * (response_time - self._resp_mean)
+
+    def record_rejection(self) -> None:
+        """Record one request rejected by admission control."""
+        self.rejected += 1
+
+    def record_loss(self, count: int) -> None:
+        """Record an instance crash that killed ``count`` admitted requests."""
+        self.failures += 1
+        self.lost_requests += count
+
+    def record_intermediate(self, service_time: float) -> None:
+        """Record a non-final tier's completed service (busy time only)."""
+        self.busy_seconds += service_time
+
+    def record_downstream_drop(self) -> None:
+        """Record an admitted request refused by a downstream tier."""
+        self.dropped_downstream += 1
+
+    def record_fleet_size(self, now: float, instances: int) -> None:
+        """Record a change in the number of live application instances."""
+        if self.min_instances is None or instances < self.min_instances:
+            self.min_instances = instances
+        if self.max_instances is None or instances > self.max_instances:
+            self.max_instances = instances
+        if self._track_series:
+            self.fleet_series.append((now, instances))
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_requests(self) -> int:
+        """Accepted + rejected arrivals seen so far."""
+        return self.accepted + self.rejected
+
+    @property
+    def in_flight(self) -> int:
+        """Admitted requests not yet completed (excluding crash losses
+        and mid-pipeline drops)."""
+        return (
+            self.accepted
+            - self.completed
+            - self.lost_requests
+            - self.dropped_downstream
+        )
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of offered requests that never completed service:
+        front-gate rejections, downstream drops, and crash losses."""
+        total = self.total_requests
+        if total == 0:
+            return 0.0
+        return (self.rejected + self.dropped_downstream + self.lost_requests) / total
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of arrivals rejected (0 when no traffic)."""
+        total = self.total_requests
+        return self.rejected / total if total else 0.0
+
+    @property
+    def mean_response_time(self) -> float:
+        """Average ``T_r`` over completed requests (0 when none)."""
+        return self._resp_mean if self.completed else 0.0
+
+    @property
+    def response_time_std(self) -> float:
+        """Sample standard deviation of ``T_r`` (0 with < 2 samples)."""
+        if self.completed < 2:
+            return 0.0
+        return math.sqrt(self._resp_m2 / (self.completed - 1))
+
+    @property
+    def utilization(self) -> float:
+        """Busy time over provisioned VM time (the paper's definition)."""
+        if self.vm_hours <= 0.0:
+            return 0.0
+        return self.busy_seconds / (self.vm_hours * 3600.0)
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of completed requests exceeding ``T_s``."""
+        return self.violations / self.completed if self.completed else 0.0
+
+    # ------------------------------------------------------------------
+    def finalize(self, now: float, vm_hours: float) -> None:
+        """Close the books at the end of a run."""
+        self.horizon = now
+        self.vm_hours = vm_hours
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MetricsCollector acc={self.accepted} rej={self.rejected} "
+            f"Tr={self.mean_response_time:.4g}s rejrate={self.rejection_rate:.3%}>"
+        )

@@ -1,0 +1,82 @@
+"""Summary statistics over replicated runs.
+
+The paper repeats every scenario 10 times and reports averages; this
+module aggregates per-replication metric values into mean, sample
+standard deviation, and a normal-approximation 95 % confidence
+interval.  Everything is plain numpy — no scipy dependency in the
+library core.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize"]
+
+#: Two-sided 97.5 % normal quantile used for the 95 % CI half-width.
+_Z975 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread of one metric across replications.
+
+    Attributes
+    ----------
+    mean, std:
+        Sample mean and (n−1)-normalized standard deviation.
+    ci95:
+        Half-width of the normal-approximation 95 % confidence
+        interval of the mean (0 for a single replication).
+    n:
+        Number of replications.
+    minimum, maximum:
+        Extremes across replications.
+    """
+
+    mean: float
+    std: float
+    ci95: float
+    n: int
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        if self.n <= 1:
+            return f"{self.mean:.6g}"
+        return f"{self.mean:.6g} ± {self.ci95:.2g}"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Aggregate replication values into a :class:`Summary`.
+
+    >>> s = summarize([1.0, 2.0, 3.0])
+    >>> s.mean
+    2.0
+    >>> round(s.std, 6)
+    1.0
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"non-finite metric values: {arr[~np.isfinite(arr)][:4]}")
+    mean = float(arr.mean())
+    if arr.size > 1:
+        std = float(arr.std(ddof=1))
+        ci = _Z975 * std / math.sqrt(arr.size)
+    else:
+        std = 0.0
+        ci = 0.0
+    return Summary(
+        mean=mean,
+        std=std,
+        ci95=ci,
+        n=int(arr.size),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )

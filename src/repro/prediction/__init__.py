@@ -1,0 +1,43 @@
+"""Arrival-rate predictors for the workload analyzer.
+
+Paper analyzers (model-informed):
+
+* :class:`ModelInformedPredictor` — evaluates the known rate curve
+  (web scenario, six-period day).
+* :class:`ScientificModePredictor` — Weibull-mode estimator with the
+  paper's ×1.2 / ×2.6 safety factors (scientific scenario).
+
+Extensions (the paper's §VII future work, used in ablations):
+
+* :class:`LastValuePredictor`, :class:`MovingAveragePredictor`,
+  :class:`EWMAPredictor` — reactive baselines.
+* :class:`ARPredictor`, :class:`ARXPredictor` — least-squares
+  autoregressive / ARMAX-style models.
+* :class:`QRSMPredictor` — quadratic response-surface trend.
+* :class:`OraclePredictor` — perfect information upper bound.
+"""
+
+from .arma import ARPredictor, ARXPredictor
+from .base import ArrivalRatePredictor
+from .oracle import OraclePredictor
+from .qrsm import QRSMPredictor
+from .reactive import EWMAPredictor, LastValuePredictor, MovingAveragePredictor
+from .timebased import (
+    WEB_PERIOD_BOUNDARIES_HOURS,
+    ModelInformedPredictor,
+    ScientificModePredictor,
+)
+
+__all__ = [
+    "ArrivalRatePredictor",
+    "ModelInformedPredictor",
+    "ScientificModePredictor",
+    "WEB_PERIOD_BOUNDARIES_HOURS",
+    "LastValuePredictor",
+    "MovingAveragePredictor",
+    "EWMAPredictor",
+    "ARPredictor",
+    "ARXPredictor",
+    "QRSMPredictor",
+    "OraclePredictor",
+]

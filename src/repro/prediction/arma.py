@@ -1,0 +1,133 @@
+"""Autoregressive predictors — the paper's ARMAX future-work item.
+
+§VII: "we will adapt more comprehensive prediction techniques (such as
+QRSM and ARMAX) to handle prediction for arbitrary service workloads".
+This module implements a lean but real autoregressive family fitted by
+ordinary least squares with numpy (no external stats packages):
+
+* :class:`ARPredictor` — AR(p): ``r_{t+1} = c + Σ φ_i · r_{t−i}``.
+* :class:`ARXPredictor` — AR(p) with an exogenous regressor, the
+  time-of-day phase ``sin(π·sod/86400)`` — exactly the shape of the web
+  workload's Eq. 2 — making it an ARMAX-style model in the sense the
+  paper cites (Candy, *Model-based Signal Processing*).
+
+Both refit on every prediction from a sliding history window; with the
+analyzer's default 15-minute cadence that is ~100 small ``lstsq``
+solves per simulated day, which is negligible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+import numpy as np
+
+from ..errors import PredictionError
+from ..sim.calendar import SECONDS_PER_DAY
+from .base import ArrivalRatePredictor
+
+__all__ = ["ARPredictor", "ARXPredictor"]
+
+
+class ARPredictor(ArrivalRatePredictor):
+    """Sliding-window AR(p) least-squares predictor.
+
+    Parameters
+    ----------
+    order:
+        Number of autoregressive lags p ≥ 1.
+    history:
+        Sliding window of retained samples (must exceed ``2·order``).
+    safety_factor:
+        Multiplier on the point forecast.
+    """
+
+    name = "ar"
+
+    def __init__(self, order: int = 3, history: int = 96, safety_factor: float = 1.0) -> None:
+        if order < 1:
+            raise PredictionError(f"AR order must be >= 1, got {order}")
+        if history <= 2 * order:
+            raise PredictionError(
+                f"history ({history}) must exceed twice the order ({order})"
+            )
+        if safety_factor <= 0.0:
+            raise PredictionError(f"safety factor must be > 0, got {safety_factor!r}")
+        self.order = int(order)
+        self.safety_factor = float(safety_factor)
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=int(history))
+
+    def observe(self, t: float, rate: float) -> None:
+        if rate < 0.0:
+            raise PredictionError(f"observed rate must be >= 0, got {rate!r}")
+        self._samples.append((float(t), float(rate)))
+
+    @property
+    def sample_count(self) -> int:
+        """Number of retained history samples."""
+        return len(self._samples)
+
+    # ------------------------------------------------------------------
+    def _design(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Build (X, y, last_lags) from history; X rows = [1, lags...]."""
+        rates = np.array([r for _, r in self._samples])
+        p = self.order
+        if rates.size < p + 2:
+            raise PredictionError(
+                f"{self.name}: need at least {p + 2} samples, have {rates.size}"
+            )
+        # Row i predicts rates[i+p] from rates[i:i+p] (most recent last).
+        n = rates.size - p
+        X = np.empty((n, p + 1))
+        X[:, 0] = 1.0
+        for j in range(p):
+            X[:, 1 + j] = rates[j : j + n]
+        y = rates[p:]
+        last = rates[-p:]
+        return X, y, last
+
+    def _exog(self, t: float) -> np.ndarray:
+        """Exogenous regressors for time ``t`` (none in plain AR)."""
+        return np.empty(0)
+
+    def _exog_history(self) -> np.ndarray:
+        return np.empty((len(self._samples) - self.order, 0))
+
+    def predict(self, t0: float, t1: float) -> float:
+        X, y, last = self._design()
+        exog_hist = self._exog_history()
+        if exog_hist.shape[1]:
+            X = np.hstack([X, exog_hist])
+        coef, *_ = np.linalg.lstsq(X, y, rcond=None)
+        row = np.concatenate([[1.0], last, self._exog(0.5 * (t0 + t1))])
+        forecast = float(row @ coef)
+        return max(0.0, forecast) * self.safety_factor
+
+
+class ARXPredictor(ARPredictor):
+    """AR(p) plus a diurnal exogenous input (ARMAX-style).
+
+    The exogenous term is the Eq.-2 phase ``sin(π·sod/86400)`` of the
+    *target* time, letting the model anticipate the rate swing instead
+    of merely following it — this is what makes it proactive on
+    diurnal workloads.
+    """
+
+    name = "arx"
+
+    def _phase(self, t: float) -> float:
+        sod = t % SECONDS_PER_DAY
+        return float(np.sin(np.pi * sod / SECONDS_PER_DAY))
+
+    def _exog(self, t: float) -> np.ndarray:
+        return np.array([self._phase(t)])
+
+    def _exog_history(self) -> np.ndarray:
+        times = np.array([t for t, _ in self._samples])
+        p = self.order
+        n = times.size - p
+        # Phase of each regression target's timestamp.
+        target_times = times[p:]
+        sod = np.mod(target_times, SECONDS_PER_DAY)
+        return np.sin(np.pi * sod / SECONDS_PER_DAY).reshape(n, 1)

@@ -1,0 +1,56 @@
+"""Predictor interface for the workload analyzer.
+
+The workload analyzer (paper §IV-A) "generates estimation (prediction)
+of request arrival rate ... based on historical data about resources
+usage, or based on statistical models derived from known application
+workloads".  Both families share one interface:
+
+* :meth:`ArrivalRatePredictor.predict` — the expected arrival rate over
+  an upcoming window ``[t0, t1)``;
+* :meth:`ArrivalRatePredictor.observe` — ingest one monitored
+  ``(time, rate)`` sample (model-informed predictors ignore it);
+* :meth:`ArrivalRatePredictor.boundaries` — known rate change points
+  inside a horizon, so the analyzer can align its alerts with them
+  (the web workload's six daily periods; the scientific workload's
+  8 a.m./5 p.m. regime switches).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+__all__ = ["ArrivalRatePredictor"]
+
+
+class ArrivalRatePredictor(ABC):
+    """Estimates the request arrival rate of an upcoming window."""
+
+    #: Identifier used in reports and ablation labels.
+    name: str = "predictor"
+
+    @abstractmethod
+    def predict(self, t0: float, t1: float) -> float:
+        """Expected arrival rate (requests/s) over ``[t0, t1)``.
+
+        Implementations should be *conservative where the paper is*:
+        the paper's analyzer deliberately over-estimates bursty
+        workloads (its ×1.2 / ×2.6 safety factors) so that transient
+        spikes do not violate QoS.
+
+        Raises
+        ------
+        PredictionError
+            If no estimate can be produced (e.g. a purely reactive
+            predictor with no history).
+        """
+
+    def observe(self, t: float, rate: float) -> None:
+        """Ingest one monitored arrival-rate sample (default: ignore)."""
+
+    def boundaries(self, t0: float, t1: float) -> List[float]:
+        """Known rate change points in ``(t0, t1)`` (default: none)."""
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"

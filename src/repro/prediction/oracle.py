@@ -1,0 +1,50 @@
+"""Oracle predictor — the perfect-information upper bound.
+
+Knows the workload's true mean-rate curve and reports its exact mean
+(or max) over the prediction window with no safety factor.  Ablations
+use it to separate *prediction* error from *modeling* error: any QoS
+miss under the oracle is attributable to the queueing model or the
+actuation lag, not to forecasting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PredictionError
+from ..workloads.base import Workload
+from .base import ArrivalRatePredictor
+
+__all__ = ["OraclePredictor"]
+
+
+class OraclePredictor(ArrivalRatePredictor):
+    """Ground-truth rate over the prediction window.
+
+    Parameters
+    ----------
+    workload:
+        The true workload model.
+    mode:
+        ``"mean"`` (default) or ``"max"`` over the window.
+    resolution:
+        Curve sampling step in seconds.
+    """
+
+    name = "oracle"
+
+    def __init__(self, workload: Workload, mode: str = "mean", resolution: float = 60.0) -> None:
+        if mode not in ("mean", "max"):
+            raise PredictionError(f"mode must be 'mean' or 'max', got {mode!r}")
+        if resolution <= 0.0:
+            raise PredictionError(f"resolution must be > 0, got {resolution!r}")
+        self.workload = workload
+        self.mode = mode
+        self.resolution = float(resolution)
+
+    def predict(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            raise PredictionError(f"empty prediction window [{t0}, {t1})")
+        grid = np.linspace(t0, t1, max(2, int((t1 - t0) / self.resolution) + 1), endpoint=False)
+        rates = np.asarray(self.workload.mean_rate(grid))
+        return float(rates.max() if self.mode == "max" else rates.mean())

@@ -1,0 +1,87 @@
+"""Quadratic Response Surface predictor — the paper's QRSM citation.
+
+§V-B mentions the Quadratic Response Surface Model (Myers et al.,
+*Response Surface Methodology*) as a "more powerful technique" left to
+future work.  :class:`QRSMPredictor` fits a quadratic polynomial of
+time to a sliding window of monitored rates and extrapolates it to the
+midpoint of the prediction window — a local second-order trend model
+that anticipates accelerating ramps better than flat averages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+import numpy as np
+
+from ..errors import PredictionError
+from .base import ArrivalRatePredictor
+
+__all__ = ["QRSMPredictor"]
+
+
+class QRSMPredictor(ArrivalRatePredictor):
+    """Sliding-window quadratic trend extrapolation.
+
+    Parameters
+    ----------
+    history:
+        Number of retained ``(time, rate)`` samples (≥ 4).
+    safety_factor:
+        Multiplier on the point forecast.
+    clamp_growth:
+        Maximum ratio of forecast to last observation — quadratic
+        extrapolation can explode on noisy tails, so the forecast is
+        clamped into ``[last/clamp_growth, last·clamp_growth]`` when a
+        last observation exists.
+    """
+
+    name = "qrsm"
+
+    def __init__(
+        self,
+        history: int = 32,
+        safety_factor: float = 1.0,
+        clamp_growth: float = 3.0,
+    ) -> None:
+        if history < 4:
+            raise PredictionError(f"QRSM needs history >= 4, got {history}")
+        if safety_factor <= 0.0:
+            raise PredictionError(f"safety factor must be > 0, got {safety_factor!r}")
+        if clamp_growth < 1.0:
+            raise PredictionError(f"clamp_growth must be >= 1, got {clamp_growth!r}")
+        self.safety_factor = float(safety_factor)
+        self.clamp_growth = float(clamp_growth)
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=int(history))
+
+    def observe(self, t: float, rate: float) -> None:
+        if rate < 0.0:
+            raise PredictionError(f"observed rate must be >= 0, got {rate!r}")
+        self._samples.append((float(t), float(rate)))
+
+    @property
+    def sample_count(self) -> int:
+        """Number of retained history samples."""
+        return len(self._samples)
+
+    def predict(self, t0: float, t1: float) -> float:
+        if len(self._samples) < 3:
+            raise PredictionError(
+                f"{self.name}: need >= 3 samples to fit a quadratic, "
+                f"have {len(self._samples)}"
+            )
+        times = np.array([t for t, _ in self._samples])
+        rates = np.array([r for _, r in self._samples])
+        # Center and scale time for conditioning.
+        t_mean = times.mean()
+        t_span = max(float(np.ptp(times)), 1e-9)
+        x = (times - t_mean) / t_span
+        X = np.column_stack([np.ones_like(x), x, x * x])
+        coef, *_ = np.linalg.lstsq(X, rates, rcond=None)
+        xq = (0.5 * (t0 + t1) - t_mean) / t_span
+        forecast = float(coef[0] + coef[1] * xq + coef[2] * xq * xq)
+        last = rates[-1]
+        if last > 0.0:
+            forecast = min(max(forecast, last / self.clamp_growth), last * self.clamp_growth)
+        return max(0.0, forecast) * self.safety_factor

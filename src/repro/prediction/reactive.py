@@ -1,0 +1,120 @@
+"""Reactive (history-driven) predictors.
+
+These estimate the next window's arrival rate purely from monitored
+history — what a provider must do when no workload model is available.
+The paper positions its mechanism as *proactive* against the reactive
+schemes of Chieu et al. and Claudia; the predictor-ablation benchmark
+quantifies that difference by swapping these into the same analyzer.
+
+* :class:`LastValuePredictor` — naive: tomorrow looks like right now
+  (the purely reactive baseline).
+* :class:`MovingAveragePredictor` — mean of the last ``n`` samples.
+* :class:`EWMAPredictor` — exponentially weighted moving average.
+
+All accept a ``safety_factor`` so they can be made conservative like
+the paper's analyzers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from ..errors import PredictionError
+from .base import ArrivalRatePredictor
+
+__all__ = ["LastValuePredictor", "MovingAveragePredictor", "EWMAPredictor"]
+
+
+class _HistoryPredictor(ArrivalRatePredictor):
+    """Shared plumbing: bounded history + safety factor."""
+
+    def __init__(self, safety_factor: float = 1.0, history: int = 4096) -> None:
+        if safety_factor <= 0.0:
+            raise PredictionError(f"safety factor must be > 0, got {safety_factor!r}")
+        if history < 1:
+            raise PredictionError(f"history length must be >= 1, got {history}")
+        self.safety_factor = float(safety_factor)
+        self._history: Deque[float] = deque(maxlen=history)
+
+    def observe(self, t: float, rate: float) -> None:
+        if rate < 0.0:
+            raise PredictionError(f"observed rate must be >= 0, got {rate!r}")
+        self._history.append(float(rate))
+
+    @property
+    def sample_count(self) -> int:
+        """Number of retained history samples."""
+        return len(self._history)
+
+    def _require_history(self) -> None:
+        if not self._history:
+            raise PredictionError(
+                f"{self.name}: no monitored rate history yet — "
+                "reactive predictors need at least one sample"
+            )
+
+
+class LastValuePredictor(_HistoryPredictor):
+    """Predict the most recent observed rate (naive persistence)."""
+
+    name = "last-value"
+
+    def predict(self, t0: float, t1: float) -> float:
+        self._require_history()
+        return self._history[-1] * self.safety_factor
+
+
+class MovingAveragePredictor(_HistoryPredictor):
+    """Mean of the last ``window`` observations.
+
+    Parameters
+    ----------
+    window:
+        Number of recent samples averaged.
+    """
+
+    name = "moving-average"
+
+    def __init__(self, window: int = 5, safety_factor: float = 1.0, history: int = 4096) -> None:
+        super().__init__(safety_factor, history)
+        if window < 1:
+            raise PredictionError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+
+    def predict(self, t0: float, t1: float) -> float:
+        self._require_history()
+        recent = list(self._history)[-self.window :]
+        return (sum(recent) / len(recent)) * self.safety_factor
+
+
+class EWMAPredictor(_HistoryPredictor):
+    """Exponentially weighted moving average of observed rates.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing weight in (0, 1]; higher reacts faster.
+    """
+
+    name = "ewma"
+
+    def __init__(self, alpha: float = 0.3, safety_factor: float = 1.0, history: int = 4096) -> None:
+        super().__init__(safety_factor, history)
+        if not 0.0 < alpha <= 1.0:
+            raise PredictionError(f"alpha must be in (0, 1], got {alpha!r}")
+        self.alpha = float(alpha)
+        self._ewma: float = 0.0
+        self._primed = False
+
+    def observe(self, t: float, rate: float) -> None:
+        super().observe(t, rate)
+        if self._primed:
+            self._ewma += self.alpha * (rate - self._ewma)
+        else:
+            self._ewma = float(rate)
+            self._primed = True
+
+    def predict(self, t0: float, t1: float) -> float:
+        self._require_history()
+        return self._ewma * self.safety_factor

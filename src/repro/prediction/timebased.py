@@ -1,0 +1,191 @@
+"""Time-based, model-informed predictors — the paper's analyzers.
+
+Both evaluation scenarios use predictors derived from the *known*
+workload model ("because in these experiments both workloads are based
+on models, we apply a time-based prediction model for them", §V-B):
+
+* :class:`ModelInformedPredictor` — generic: evaluates the workload's
+  own rate curve over the upcoming window and reports its maximum
+  (conservative) or mean, optionally inflated by a safety factor.
+  With the web workload this realizes the paper's six-period day
+  schedule: the analyzer's alert cadence plus the period boundaries
+  reported by :meth:`boundaries` drive re-provisioning.
+* :class:`ScientificModePredictor` — the paper's §V-B2 rule, built on
+  distribution *modes*: peak rate = (size mode × 1.2)/interarrival
+  mode; off-peak = (jobs-per-period mode × 2.6 × tasks/job)/period.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import PredictionError
+from ..sim.calendar import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from ..workloads.base import Workload
+from ..workloads.scientific import ScientificWorkload
+from .base import ArrivalRatePredictor
+
+__all__ = [
+    "WEB_PERIOD_BOUNDARIES_HOURS",
+    "ModelInformedPredictor",
+    "ScientificModePredictor",
+]
+
+#: The paper's six web-day periods (§V-B1), as boundary hours:
+#: 11:30–12:30 (peak), 12:30–16, 16–20, 20–02, 02–07, 07–11:30.
+WEB_PERIOD_BOUNDARIES_HOURS: Sequence[float] = (2.0, 7.0, 11.5, 12.5, 16.0, 20.0)
+
+
+class ModelInformedPredictor(ArrivalRatePredictor):
+    """Predict from the workload's own mean-rate curve.
+
+    Parameters
+    ----------
+    workload:
+        The model whose :meth:`~repro.workloads.base.Workload.mean_rate`
+        is consulted.
+    mode:
+        ``"max"`` (default, conservative — provision for the worst rate
+        inside the window) or ``"mean"``.
+    safety_factor:
+        Multiplier applied to the estimate (≥ 0; the paper uses 1.0 for
+        the web scenario because Eq. 2 varies smoothly).
+    resolution:
+        Sampling step (seconds) for evaluating the curve in a window.
+    daily_boundaries_hours:
+        Hours of day at which the rate regime is known to change; the
+        analyzer aligns alerts with them.  Defaults to the paper's six
+        web periods.
+    """
+
+    name = "model-informed"
+
+    def __init__(
+        self,
+        workload: Workload,
+        mode: str = "max",
+        safety_factor: float = 1.0,
+        resolution: float = 60.0,
+        daily_boundaries_hours: Optional[Sequence[float]] = None,
+    ) -> None:
+        if mode not in ("max", "mean"):
+            raise PredictionError(f"mode must be 'max' or 'mean', got {mode!r}")
+        if safety_factor <= 0.0:
+            raise PredictionError(f"safety factor must be > 0, got {safety_factor!r}")
+        if resolution <= 0.0:
+            raise PredictionError(f"resolution must be > 0, got {resolution!r}")
+        self.workload = workload
+        self.mode = mode
+        self.safety_factor = float(safety_factor)
+        self.resolution = float(resolution)
+        if daily_boundaries_hours is None:
+            daily_boundaries_hours = WEB_PERIOD_BOUNDARIES_HOURS
+        self._daily_boundaries = sorted(float(h) % 24.0 for h in daily_boundaries_hours)
+
+    def predict(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            raise PredictionError(f"empty prediction window [{t0}, {t1})")
+        n = max(2, int((t1 - t0) / self.resolution) + 1)
+        # Half-open window [t0, t1): the rate *at* t1 belongs to the next
+        # alert's window (otherwise a regime switch at t1 leaks one grid
+        # point back and triggers scaling a full cadence early).
+        grid = np.linspace(t0, t1, n, endpoint=False)
+        rates = np.asarray(self.workload.mean_rate(grid))
+        value = float(rates.max() if self.mode == "max" else rates.mean())
+        return value * self.safety_factor
+
+    def boundaries(self, t0: float, t1: float) -> List[float]:
+        """Period boundaries (as absolute times) inside ``(t0, t1)``."""
+        out: List[float] = []
+        day = int(t0 // SECONDS_PER_DAY)
+        while day * SECONDS_PER_DAY < t1:
+            base = day * SECONDS_PER_DAY
+            for h in self._daily_boundaries:
+                t = base + h * SECONDS_PER_HOUR
+                if t0 < t < t1:
+                    out.append(t)
+            day += 1
+        return out
+
+
+class ScientificModePredictor(ArrivalRatePredictor):
+    """The paper's §V-B2 mode-based estimator for the BoT workload.
+
+    Peak time: "the mode of the interarrival time (7.379 seconds) is
+    used to estimate arrival rate, whereas the mode for the size class
+    (... 1.309 tasks per BoT job) is used to estimate number of requests
+    on each interarrival ... estimated number of tasks is increased by
+    20 %".  Off-peak: "arrival rate is estimated based on the mode of
+    the daily cycle (15.298 requests per 30 minutes interval) ...
+    multiplied by a factor of 2.6".
+
+    Parameters
+    ----------
+    workload:
+        The :class:`ScientificWorkload` providing modes and the peak
+        window.
+    peak_safety, offpeak_safety:
+        The paper's ×1.2 and ×2.6 inflation factors.
+    """
+
+    name = "scientific-mode"
+
+    def __init__(
+        self,
+        workload: ScientificWorkload,
+        peak_safety: float = 1.2,
+        offpeak_safety: float = 2.6,
+    ) -> None:
+        if peak_safety <= 0.0 or offpeak_safety <= 0.0:
+            raise PredictionError(
+                f"safety factors must be > 0, got {peak_safety!r}, {offpeak_safety!r}"
+            )
+        self.workload = workload
+        self.peak_safety = float(peak_safety)
+        self.offpeak_safety = float(offpeak_safety)
+
+    @property
+    def peak_rate(self) -> float:
+        """Estimated tasks/s during peak: size_mode × safety / ia_mode."""
+        w = self.workload
+        return w.size_mode * self.peak_safety / w.interarrival_mode
+
+    @property
+    def offpeak_rate(self) -> float:
+        """Estimated tasks/s off-peak: jobs_mode × safety × tasks / period.
+
+        The size class multiplies off-peak job counts too (the workload
+        generator applies it to every job).  We use the *discretized
+        mean* tasks/job (≈ 1.62) rather than the continuous mode
+        (1.309): with the mode the off-peak fleet lands at 11 instances
+        and absorbs bursts poorly (≈ 0.7 % rejections), while the mean
+        yields the paper's observed 13-instance off-peak fleet and its
+        ≈ 0 rejection rate.  Documented deviation (EXPERIMENTS.md).
+        """
+        w = self.workload
+        return w.offpeak_mode * self.offpeak_safety * w.mean_tasks_per_job / w.window
+
+    def predict(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            raise PredictionError(f"empty prediction window [{t0}, {t1})")
+        # Conservative: if any part of the half-open window [t0, t1) is
+        # peak, predict peak.
+        grid = np.linspace(t0, t1, max(2, int((t1 - t0) / 300.0) + 1), endpoint=False)
+        if bool(np.any(self.workload.in_peak(grid))):
+            return self.peak_rate
+        return self.offpeak_rate
+
+    def boundaries(self, t0: float, t1: float) -> List[float]:
+        """The 8 a.m. and 5 p.m. regime switches inside ``(t0, t1)``."""
+        out: List[float] = []
+        day = int(t0 // SECONDS_PER_DAY)
+        while day * SECONDS_PER_DAY < t1:
+            base = day * SECONDS_PER_DAY
+            for edge in (self.workload.peak_start, self.workload.peak_end):
+                t = base + edge
+                if t0 < t < t1:
+                    out.append(t)
+            day += 1
+        return out

@@ -1,0 +1,80 @@
+"""Erlang-B and Erlang-C formulas.
+
+These are the multi-server building blocks: Erlang B gives the blocking
+probability of an M/M/c/c loss system, Erlang C the probability of
+queueing in an M/M/c delay system.  Both are computed with the standard
+numerically-stable recurrences (never via factorials), so they are safe
+for hundreds of servers — the web scenario provisions fleets of 150+.
+
+Recurrences
+-----------
+Erlang B:  B(0, a) = 1;  B(c, a) = a·B(c−1, a) / (c + a·B(c−1, a))
+Erlang C:  C(c, a) = c·B(c, a) / (c − a·(1 − B(c, a)))   for a < c
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import QueueingModelError
+
+__all__ = ["erlang_b", "erlang_c"]
+
+
+def _validate(servers: int, offered_load: float) -> int:
+    if isinstance(servers, bool) or int(servers) != servers:
+        raise QueueingModelError(f"server count must be an integer, got {servers!r}")
+    servers = int(servers)
+    if servers < 1:
+        raise QueueingModelError(f"server count must be >= 1, got {servers}")
+    if not (offered_load >= 0.0 and math.isfinite(offered_load)):
+        raise QueueingModelError(
+            f"offered load must be finite and >= 0, got {offered_load!r}"
+        )
+    return servers
+
+
+def erlang_b(servers: int, offered_load: float) -> float:
+    """Erlang-B blocking probability of an M/M/c/c system.
+
+    Parameters
+    ----------
+    servers:
+        Number of servers c ≥ 1.
+    offered_load:
+        Offered traffic a = λ/μ in Erlangs.
+
+    Examples
+    --------
+    >>> round(erlang_b(1, 1.0), 6)
+    0.5
+    >>> erlang_b(10, 0.0)
+    0.0
+    """
+    servers = _validate(servers, offered_load)
+    if offered_load == 0.0:
+        return 0.0
+    b = 1.0
+    for c in range(1, servers + 1):
+        b = offered_load * b / (c + offered_load * b)
+    return b
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C probability that an arrival must wait in an M/M/c queue.
+
+    Returns 1.0 when the system is unstable (a ≥ c): every arrival
+    waits, and the wait is unbounded.
+
+    Examples
+    --------
+    >>> round(erlang_c(1, 0.5), 6)   # M/M/1: P(wait) = rho
+    0.5
+    """
+    servers = _validate(servers, offered_load)
+    if offered_load == 0.0:
+        return 0.0
+    if offered_load >= servers:
+        return 1.0
+    b = erlang_b(servers, offered_load)
+    return servers * b / (servers - offered_load * (1.0 - b))

@@ -1,0 +1,109 @@
+"""The M/G/1 queue — Pollaczek–Khinchine with general service laws.
+
+The paper's simulated service law is ``base·U(1.00, 1.10)`` — neither
+exponential (M/M/1) nor constant (M/D/1).  M/G/1 covers the whole
+family through the squared coefficient of variation (SCV) of service:
+
+    Wq = ρ·(1 + c²) / (2·μ·(1 − ρ))        (PK formula)
+
+* ``scv = 1``   → exactly M/M/1;
+* ``scv = 0``   → exactly M/D/1 (half the M/M/1 wait);
+* the paper's U(1.00, 1.10) jitter → ``scv ≈ 0.00076``, i.e. the wait
+  sits within 0.04 % of the deterministic floor — one quantitative
+  reason the paper's Markovian model is a conservative envelope for
+  its own simulations (the other, larger one being the near-regular
+  arrival pattern, which PK's Poisson assumption does not capture).
+
+:func:`uniform_jitter_scv` computes the SCV of the paper's service law
+for any jitter bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import QueueingModelError
+from .base import QueueModel
+
+__all__ = ["MG1Queue", "uniform_jitter_scv"]
+
+
+def uniform_jitter_scv(jitter: float) -> float:
+    """SCV of ``base·(1 + U(0, jitter))``.
+
+    Var = base²·jitter²/12, mean = base·(1 + jitter/2):
+
+    >>> round(uniform_jitter_scv(0.10), 6)   # the paper's service law
+    0.000756
+    >>> uniform_jitter_scv(0.0)
+    0.0
+    """
+    if jitter < 0.0:
+        raise QueueingModelError(f"jitter must be >= 0, got {jitter!r}")
+    mean = 1.0 + jitter / 2.0
+    var = jitter * jitter / 12.0
+    return var / (mean * mean)
+
+
+class MG1Queue(QueueModel):
+    """Steady-state M/G/1 queue via Pollaczek–Khinchine.
+
+    Parameters
+    ----------
+    lam, mu:
+        Arrival rate and 1/mean-service-time.
+    scv:
+        Squared coefficient of variation of the service law (≥ 0).
+
+    Examples
+    --------
+    >>> from repro.queueing import MM1Queue
+    >>> mg1 = MG1Queue(lam=5.0, mu=10.0, scv=1.0)
+    >>> mm1 = MM1Queue(lam=5.0, mu=10.0)
+    >>> abs(mg1.mean_waiting_time - mm1.mean_waiting_time) < 1e-12
+    True
+    """
+
+    kind = "M/G/1"
+
+    def __init__(self, lam: float, mu: float, scv: float = 1.0) -> None:
+        super().__init__(lam, mu)
+        if scv < 0.0 or not math.isfinite(scv):
+            raise QueueingModelError(f"service SCV must be finite and >= 0, got {scv!r}")
+        self.scv = float(scv)
+
+    @property
+    def stable(self) -> bool:
+        """Whether the queue has a steady state (ρ < 1)."""
+        return self.rho < 1.0
+
+    @property
+    def blocking_probability(self) -> float:
+        """Always 0 — infinite buffer."""
+        return 0.0
+
+    @property
+    def mean_waiting_time(self) -> float:
+        if not self.stable:
+            return math.inf
+        rho = self.rho
+        return rho * (1.0 + self.scv) / (2.0 * self.mu * (1.0 - rho))
+
+    @property
+    def mean_response_time(self) -> float:
+        Wq = self.mean_waiting_time
+        return math.inf if math.isinf(Wq) else Wq + 1.0 / self.mu
+
+    @property
+    def mean_number_in_system(self) -> float:
+        W = self.mean_response_time
+        return math.inf if math.isinf(W) else self.lam * W
+
+    def state_probability(self, n: int) -> float:
+        """Only P(0) = 1 − ρ is distribution-free for M/G/1."""
+        if n == 0:
+            return max(0.0, 1.0 - self.rho) if self.stable else 0.0
+        raise QueueingModelError(
+            "M/G/1 state probabilities beyond P(0) depend on the full "
+            "service distribution; use MM1Queue or MD1Queue"
+        )

@@ -1,0 +1,83 @@
+"""The M/M/1 queue — Poisson arrivals, exponential service, one server.
+
+Classic closed forms (Menascé, Almeida & Dowdy, *Performance by
+Design*, the paper's reference [5]):
+
+* stability requires ρ = λ/μ < 1;
+* P(n) = (1 − ρ)·ρⁿ;
+* L = ρ / (1 − ρ);  W = 1 / (μ − λ).
+
+An unstable M/M/1 (ρ ≥ 1) reports infinite L and W rather than raising,
+because the performance modeler probes candidate fleet sizes that may
+be transiently undersized.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import QueueingModelError
+from .base import QueueModel
+
+__all__ = ["MM1Queue"]
+
+
+class MM1Queue(QueueModel):
+    """Steady-state M/M/1 queue.
+
+    Examples
+    --------
+    >>> q = MM1Queue(lam=8.0, mu=10.0)
+    >>> round(q.mean_response_time, 6)
+    0.5
+    >>> round(q.mean_number_in_system, 6)
+    4.0
+    """
+
+    kind = "M/M/1"
+
+    @property
+    def stable(self) -> bool:
+        """Whether the queue has a steady state (ρ < 1)."""
+        return self.rho < 1.0
+
+    @property
+    def blocking_probability(self) -> float:
+        """Always 0 — the buffer is infinite, nothing is rejected."""
+        return 0.0
+
+    @property
+    def mean_number_in_system(self) -> float:
+        if not self.stable:
+            return math.inf
+        rho = self.rho
+        return rho / (1.0 - rho)
+
+    def state_probability(self, n: int) -> float:
+        if n < 0 or int(n) != n:
+            raise QueueingModelError(f"state index must be a non-negative int, got {n!r}")
+        if not self.stable:
+            return 0.0
+        rho = self.rho
+        return (1.0 - rho) * rho ** int(n)
+
+    @property
+    def mean_response_time(self) -> float:
+        """W = 1/(μ − λ); ``inf`` when unstable."""
+        if not self.stable:
+            return math.inf
+        return 1.0 / (self.mu - self.lam)
+
+    def waiting_time_quantile(self, p: float) -> float:
+        """The ``p``-quantile of the response-time distribution.
+
+        Response time in a stable FIFO M/M/1 is exponential with rate
+        (μ − λ), so the quantile is ``-ln(1 − p)/(μ − λ)``.  Useful for
+        percentile-based QoS targets (an extension the paper lists as
+        future work).
+        """
+        if not 0.0 <= p < 1.0:
+            raise QueueingModelError(f"quantile level must be in [0, 1), got {p!r}")
+        if not self.stable:
+            return math.inf
+        return -math.log1p(-p) / (self.mu - self.lam)

@@ -1,0 +1,129 @@
+"""The M/M/c queue — c parallel servers, infinite buffer.
+
+Used by the ablation benchmarks to ask "what if the modeler treated the
+whole fleet as one pooled M/M/c station instead of m independent
+M/M/1/k stations?" (the paper's per-instance model assumes the
+round-robin balancer splits traffic evenly — the pooled model is the
+idealized upper bound on what load balancing could achieve).
+
+Formulas via Erlang C (a = λ/μ, ρ = a/c):
+
+* P(wait) = C(c, a)
+* Wq = C(c, a) / (c·μ − λ);  W = Wq + 1/μ
+* L = λ·W (Little)
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import QueueingModelError
+from .base import QueueModel
+from .erlang import erlang_b, erlang_c
+
+__all__ = ["MMCQueue"]
+
+
+class MMCQueue(QueueModel):
+    """Steady-state M/M/c queue.
+
+    Parameters
+    ----------
+    lam, mu:
+        Arrival rate of the *pooled* stream and per-server service rate.
+    servers:
+        Number of identical servers c ≥ 1.
+
+    Examples
+    --------
+    >>> q = MMCQueue(lam=8.0, mu=10.0, servers=1)
+    >>> round(q.mean_response_time, 6)   # degenerates to M/M/1
+    0.5
+    """
+
+    kind = "M/M/c"
+
+    def __init__(self, lam: float, mu: float, servers: int) -> None:
+        super().__init__(lam, mu)
+        if isinstance(servers, bool) or int(servers) != servers or int(servers) < 1:
+            raise QueueingModelError(f"server count must be an integer >= 1, got {servers!r}")
+        self.servers = int(servers)
+
+    @property
+    def offered_load(self) -> float:
+        """Offered traffic in Erlangs, a = λ/μ."""
+        return self.lam / self.mu
+
+    @property
+    def rho(self) -> float:
+        """Per-server load, a/c."""
+        return self.offered_load / self.servers
+
+    @property
+    def stable(self) -> bool:
+        """Whether a steady state exists (a < c)."""
+        return self.offered_load < self.servers
+
+    @property
+    def blocking_probability(self) -> float:
+        """Always 0 — infinite buffer."""
+        return 0.0
+
+    @property
+    def probability_of_wait(self) -> float:
+        """Erlang-C probability an arrival queues (1.0 if unstable)."""
+        return erlang_c(self.servers, self.offered_load)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        if not self.stable:
+            return math.inf
+        return self.probability_of_wait / (self.servers * self.mu - self.lam)
+
+    @property
+    def mean_response_time(self) -> float:
+        Wq = self.mean_waiting_time
+        return math.inf if math.isinf(Wq) else Wq + 1.0 / self.mu
+
+    @property
+    def mean_number_in_system(self) -> float:
+        W = self.mean_response_time
+        return math.inf if math.isinf(W) else self.lam * W
+
+    @property
+    def utilization(self) -> float:
+        """Carried load per server (ρ, capped at 1)."""
+        return min(1.0, self.rho)
+
+    def state_probability(self, n: int) -> float:
+        """Stationary P(N = n) via the Erlang-B normalization trick.
+
+        P(0) is recovered from the Erlang-B recurrence output rather
+        than a factorial sum, keeping the computation stable for large
+        ``c``.
+        """
+        if n < 0 or int(n) != n:
+            raise QueueingModelError(f"state index must be a non-negative int, got {n!r}")
+        n = int(n)
+        if not self.stable:
+            return 0.0
+        a, c = self.offered_load, self.servers
+        if a == 0.0:
+            return 1.0 if n == 0 else 0.0
+        # B(c, a) = (a^c/c!) / sum_{j<=c} a^j/j!  =>  sum_{j<=c} a^j/j! = (a^c/c!)/B
+        # and P(0) = 1 / (sum_{j<c} a^j/j! + (a^c/c!)·c/(c−a)).
+        # Work with ratios t_j = (a^j/j!) normalized by t_c to avoid overflow.
+        b = erlang_b(c, a)
+        # t_c relative weight: partial sum S_{<=c} = t_c / b; S_{<c} = t_c/b − t_c.
+        # Choose t_c = 1 (common factor cancels in the final ratio).
+        s_le_c = 1.0 / b
+        s_lt_c = s_le_c - 1.0
+        norm = s_lt_c + c / (c - a)
+        if n < c:
+            # t_n = t_c · c!/n! · a^{n−c}  computed by downward recurrence.
+            t = 1.0
+            for j in range(c, n, -1):
+                t = t * j / a
+            return t / norm
+        # n >= c: P(n) = P(c)·ρ^{n−c}, with t_c = 1.
+        return (self.rho ** (n - c)) / norm

@@ -1,0 +1,72 @@
+"""The M/M/∞ queue — the paper's model of the application provisioner.
+
+In Figure 2 of the paper the application provisioner is an M/M/∞
+station: every accepted request is "in service" (being routed)
+immediately, there is no queueing at the dispatch tier, and the number
+in system is Poisson with mean λ/μ.
+
+The routing delay μ⁻¹ is tiny compared to application service times, so
+in the simulator the provisioner forwards requests instantaneously by
+default; the analytical class exists so the composed queueing network
+(:mod:`repro.queueing.network`) matches the paper's Figure 2 exactly
+and so tests can verify the insensitivity of end-to-end results to the
+dispatch delay.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import QueueingModelError
+from .base import QueueModel
+
+__all__ = ["MMInfQueue"]
+
+
+class MMInfQueue(QueueModel):
+    """Steady-state M/M/∞ (infinite-server) queue.
+
+    Examples
+    --------
+    >>> q = MMInfQueue(lam=100.0, mu=1000.0)
+    >>> q.mean_response_time == 1.0 / 1000.0
+    True
+    >>> round(q.mean_number_in_system, 6)
+    0.1
+    """
+
+    kind = "M/M/inf"
+
+    @property
+    def blocking_probability(self) -> float:
+        """Always 0 — there are infinitely many servers."""
+        return 0.0
+
+    @property
+    def mean_number_in_system(self) -> float:
+        """L = λ/μ (Poisson mean)."""
+        return self.lam / self.mu
+
+    @property
+    def mean_response_time(self) -> float:
+        """Exactly one service time: there is never any waiting."""
+        return 1.0 / self.mu
+
+    @property
+    def mean_waiting_time(self) -> float:
+        return 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Not meaningful for infinitely many servers; defined as 0."""
+        return 0.0
+
+    def state_probability(self, n: int) -> float:
+        """Poisson pmf with mean λ/μ, evaluated in log space."""
+        if n < 0 or int(n) != n:
+            raise QueueingModelError(f"state index must be a non-negative int, got {n!r}")
+        n = int(n)
+        mean = self.lam / self.mu
+        if mean == 0.0:
+            return 1.0 if n == 0 else 0.0
+        return math.exp(n * math.log(mean) - mean - math.lgamma(n + 1))

@@ -1,0 +1,222 @@
+"""Tandem (composite-service) queueing networks — §VII future work.
+
+"We intend to improve the queueing model to allow modeling composite
+services": a request that traverses several tiers (web front-end →
+application tier → backend) instead of a single instance.  This module
+provides the open-tandem analytics:
+
+* :class:`TandemStage` — one tier: ``m`` parallel single-server
+  stations (the paper's per-instance view) or one pooled M/M/c station;
+* :class:`TandemNetwork` — Jackson-style composition: by Burke's
+  theorem the departure process of a stable M/M stage is Poisson at the
+  arrival rate, so stages can be evaluated independently and their
+  sojourn times summed for the end-to-end response.
+
+:class:`CompositeServiceModeler` extends Algorithm 1 to such services:
+the end-to-end deadline ``Ts`` is partitioned across tiers in
+proportion to their service demands, each tier gets its own Eq.-1
+capacity and its own Algorithm-1 search, and the combined prediction is
+checked against the end-to-end target.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigurationError, QueueingModelError
+from .mm1k import MM1KQueue
+from .network import NetworkPerformance, ProvisioningNetwork
+
+__all__ = ["TandemStage", "TandemNetwork", "CompositeServiceModeler"]
+
+
+@dataclass(frozen=True)
+class TandemStage:
+    """One tier of a composite service.
+
+    Attributes
+    ----------
+    name:
+        Tier label (``"web"``, ``"app"``, ``"db"`` …).
+    service_time:
+        Mean per-request service time at one instance of this tier.
+    instances:
+        Number of parallel instances serving the tier.
+    capacity:
+        Per-instance queue capacity (Eq. 1 for the tier's deadline
+        share); ``None`` means unbounded (plain M/M/1 stations).
+    """
+
+    name: str
+    service_time: float
+    instances: int
+    capacity: int = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.service_time <= 0.0 or not math.isfinite(self.service_time):
+            raise QueueingModelError(
+                f"stage {self.name!r}: service time must be finite and > 0"
+            )
+        if self.instances < 1:
+            raise QueueingModelError(f"stage {self.name!r}: instances must be >= 1")
+        if self.capacity is not None and self.capacity < 1:
+            raise QueueingModelError(f"stage {self.name!r}: capacity must be >= 1")
+
+
+class TandemNetwork:
+    """Open tandem of tiers traversed in sequence.
+
+    Parameters
+    ----------
+    stages:
+        Tier definitions, in traversal order.
+
+    Notes
+    -----
+    With bounded per-instance queues the stage *blocking* thins the
+    flow offered to downstream tiers (a blocked request leaves the
+    system), exactly like the admission gate of the single-tier model.
+    """
+
+    def __init__(self, stages: Sequence[TandemStage]) -> None:
+        if not stages:
+            raise QueueingModelError("a tandem needs at least one stage")
+        self.stages = list(stages)
+
+    def evaluate(self, arrival_rate: float) -> Dict[str, NetworkPerformance]:
+        """Per-stage steady state for an offered rate (Burke chaining)."""
+        if arrival_rate < 0.0 or not math.isfinite(arrival_rate):
+            raise QueueingModelError(
+                f"arrival rate must be finite and >= 0, got {arrival_rate!r}"
+            )
+        out: Dict[str, NetworkPerformance] = {}
+        rate = arrival_rate
+        for stage in self.stages:
+            capacity = stage.capacity if stage.capacity is not None else 10**6
+            net = ProvisioningNetwork(
+                service_time=stage.service_time,
+                capacity=capacity,
+                instance_model=MM1KQueue,
+            )
+            perf = net.evaluate(rate, stage.instances)
+            out[stage.name] = perf
+            rate = perf.throughput  # blocked requests leave the system
+        return out
+
+    def end_to_end_response(self, arrival_rate: float) -> float:
+        """Sum of per-stage mean sojourns for a surviving request."""
+        return sum(p.response_time for p in self.evaluate(arrival_rate).values())
+
+    def end_to_end_loss(self, arrival_rate: float) -> float:
+        """Fraction of offered requests lost at *any* stage."""
+        if arrival_rate == 0.0:
+            return 0.0
+        perfs = self.evaluate(arrival_rate)
+        surviving = list(perfs.values())[-1].throughput
+        return 1.0 - surviving / arrival_rate
+
+
+class CompositeServiceModeler:
+    """Algorithm 1 generalized to multi-tier services.
+
+    Parameters
+    ----------
+    service_times:
+        ``{tier_name: mean service time}`` in traversal order (dicts
+        preserve insertion order).
+    max_response_time:
+        End-to-end deadline ``Ts``.
+    max_vms_per_tier:
+        Quota per tier.
+    rho_max, min_utilization:
+        The single-tier calibration, applied per tier.
+    """
+
+    def __init__(
+        self,
+        service_times: Dict[str, float],
+        max_response_time: float,
+        max_vms_per_tier: int = 8000,
+        rho_max: float = 0.85,
+        min_utilization: float = 0.80,
+    ) -> None:
+        if not service_times:
+            raise ConfigurationError("composite service needs at least one tier")
+        total = sum(service_times.values())
+        if total <= 0.0 or max_response_time <= total:
+            raise ConfigurationError(
+                f"end-to-end Ts={max_response_time!r} must exceed the total "
+                f"service demand {total!r}"
+            )
+        self.service_times = dict(service_times)
+        self.max_response_time = float(max_response_time)
+        self.max_vms_per_tier = int(max_vms_per_tier)
+        self.rho_max = float(rho_max)
+        self.min_utilization = float(min_utilization)
+        # Deadline split proportional to service demand; each tier then
+        # has Ts_i / Tr_i = Ts / total, so every tier gets the same k.
+        from ..core.modeler import PerformanceModeler
+        from ..core.qos import QoSTarget
+
+        self.deadline_share = {
+            name: self.max_response_time * tr / total
+            for name, tr in self.service_times.items()
+        }
+        self._modelers: Dict[str, "PerformanceModeler"] = {}
+        self.capacities: Dict[str, int] = {}
+        for name, tr in self.service_times.items():
+            qos = QoSTarget(
+                max_response_time=self.deadline_share[name],
+                min_utilization=self.min_utilization,
+            )
+            k = qos.queue_capacity(tr)
+            self.capacities[name] = k
+            self._modelers[name] = PerformanceModeler(
+                qos=qos,
+                capacity=k,
+                max_vms=self.max_vms_per_tier,
+                rho_max=self.rho_max,
+            )
+
+    def decide(
+        self, arrival_rate: float, current: Dict[str, int]
+    ) -> Dict[str, int]:
+        """Per-tier fleet sizes for an offered rate.
+
+        ``current`` supplies each tier's present fleet (Algorithm 1
+        starts its search there); missing tiers start from 1.
+        """
+        out: Dict[str, int] = {}
+        for name, tr in self.service_times.items():
+            # Every tier is sized for the full offered rate: the
+            # calibrated M/M/1/k blocking at the operating point is a
+            # conservative modeling envelope, not expected loss, and a
+            # properly sized upstream tier passes ≈ all of its flow —
+            # thinning by the envelope would systematically starve the
+            # downstream tiers.
+            decision = self._modelers[name].decide(
+                arrival_rate, tr, current.get(name, 1)
+            )
+            out[name] = decision.instances
+        return out
+
+    def network_for(self, fleets: Dict[str, int]) -> TandemNetwork:
+        """Build the tandem network realized by ``fleets``."""
+        stages = [
+            TandemStage(
+                name=name,
+                service_time=tr,
+                instances=fleets[name],
+                capacity=self.capacities[name],
+            )
+            for name, tr in self.service_times.items()
+        ]
+        return TandemNetwork(stages)
+
+    def predicted_end_to_end(
+        self, arrival_rate: float, fleets: Dict[str, int]
+    ) -> float:
+        """End-to-end mean response under ``fleets``."""
+        return self.network_for(fleets).end_to_end_response(arrival_rate)

@@ -1,0 +1,91 @@
+"""Simulation calendar helpers.
+
+The paper's workloads are defined in wall-clock terms: the web workload
+varies by *day of week* and *time of day* (Table II + Eq. 2, simulation
+starts "Monday 12 a.m."), and the scientific workload distinguishes
+peak hours (8 a.m.–5 p.m.) from off-peak.  This module converts a
+simulation clock (seconds since the scenario epoch) into those calendar
+coordinates.
+
+All functions are pure and accept either scalars or numpy arrays, so
+the workload generators can evaluate whole weeks of rate curves in one
+vectorized call.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "SECONDS_PER_MINUTE",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_WEEK",
+    "DAY_NAMES",
+    "seconds_of_day",
+    "day_of_week",
+    "day_name",
+    "hour_of_day",
+    "hms",
+]
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 86_400
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+#: Day index 0 is Monday: the paper's web simulation "consists in one
+#: week of requests ... starting at Monday 12 a.m.".
+DAY_NAMES = (
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+    "Sunday",
+)
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def seconds_of_day(t: ArrayLike) -> ArrayLike:
+    """Seconds elapsed since the most recent midnight.
+
+    >>> seconds_of_day(86_400 + 30.0)
+    30.0
+    """
+    return np.mod(t, SECONDS_PER_DAY)
+
+
+def day_of_week(t: ArrayLike) -> ArrayLike:
+    """Day index (0=Monday .. 6=Sunday) for simulation time ``t``.
+
+    Times beyond one week wrap around, matching a workload model that
+    repeats weekly.
+    """
+    return (np.floor_divide(np.asarray(t), SECONDS_PER_DAY)).astype(np.int64) % 7
+
+
+def day_name(t: float) -> str:
+    """Human-readable weekday name for scalar time ``t``."""
+    return DAY_NAMES[int(day_of_week(float(t)))]
+
+
+def hour_of_day(t: ArrayLike) -> ArrayLike:
+    """Fractional hour of day in ``[0, 24)`` for simulation time ``t``."""
+    return seconds_of_day(t) / SECONDS_PER_HOUR
+
+
+def hms(t: float) -> str:
+    """Format a scalar simulation time as ``Day HH:MM:SS`` for logs.
+
+    >>> hms(0.0)
+    'Monday 00:00:00'
+    """
+    sod = int(seconds_of_day(float(t)))
+    h, rem = divmod(sod, SECONDS_PER_HOUR)
+    m, s = divmod(rem, SECONDS_PER_MINUTE)
+    return f"{day_name(t)} {h:02d}:{m:02d}:{s:02d}"

@@ -1,0 +1,51 @@
+"""Event primitives for the discrete-event kernel.
+
+The engine's future-event list stores each scheduled event as a plain
+5-slot list — ``[time, priority, seq, callback, cancelled]`` — rather
+than an instance of a class with a ``__lt__`` method.  Heap pushes and
+pops compare entries element-wise at C speed (the strictly increasing
+``seq`` guarantees the comparison never reaches the callback), which
+profiling showed is ~3× faster than dispatching a Python ``__lt__`` per
+comparison on the multi-million-event web scenario.
+
+:class:`EventHandle` documents the entry layout and provides the
+type alias used in signatures; cancellation is *lazy* — set the flag
+via :meth:`repro.sim.engine.Engine.cancel` and the engine skips the
+entry when popped, O(1) instead of an O(n) heap removal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+__all__ = ["EventHandle", "PRIORITY_HIGH", "PRIORITY_NORMAL", "PRIORITY_LOW",
+           "TIME", "PRIORITY", "SEQ", "CALLBACK", "CANCELLED"]
+
+#: Fires before normal events scheduled at the same timestamp.  Used for
+#: control-plane actions (provisioning decisions, window generation)
+#: that must run before the data plane advances at the same instant.
+PRIORITY_HIGH = 0
+
+#: Default priority for data-plane events (arrivals, completions).
+PRIORITY_NORMAL = 1
+
+#: Fires after everything else at the same timestamp.  Used for
+#: end-of-interval metric sampling.
+PRIORITY_LOW = 2
+
+#: Index of the firing time in an event entry.
+TIME = 0
+#: Index of the priority in an event entry.
+PRIORITY = 1
+#: Index of the tie-breaking sequence number in an event entry.
+SEQ = 2
+#: Index of the zero-argument callback in an event entry.
+CALLBACK = 3
+#: Index of the lazy-cancellation flag in an event entry.
+CANCELLED = 4
+
+#: An entry of the future-event list:
+#: ``[time: float, priority: int, seq: int, callback: Callable[[], None],
+#: cancelled: bool]``.  Treat it as opaque outside the kernel; cancel
+#: through :meth:`repro.sim.engine.Engine.cancel`.
+EventHandle = List[Any]

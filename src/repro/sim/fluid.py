@@ -1,0 +1,228 @@
+"""Fluid (interval-analytical) simulation engine.
+
+The paper's web scenario generates ≈ 500 million requests per week —
+feasible for a compiled simulator like CloudSim, hostile to an
+event-per-request Python DES.  The fluid engine is the full-scale
+companion (DESIGN.md §4): it advances the scenario in fixed intervals
+and treats demand as a *flow* through the provisioned fleet:
+
+* per interval ``Δ`` it evaluates the workload's mean rate ``λ(t)``,
+  replays the exact same control plane as the DES (the analyzer cadence
+  and Algorithm-1 modeler from :mod:`repro.core`) to obtain the fleet
+  size ``m(t)``, then
+* converts flow to metrics with a queueing model of the instances —
+  either the Markovian M/M/1/k station (``flow_model="markovian"``) or
+  a deterministic-flow bound (``flow_model="deterministic"``, default)
+  matching the low-variability simulated workloads: rejection appears
+  only when offered load exceeds fleet capacity, and the response time
+  of accepted requests is the station's mean sojourn.
+
+The engine is cross-validated against the DES by the
+``xcheck-fluid`` benchmark and the integration test-suite: fleet
+trajectories agree exactly (same control plane), aggregate rejection /
+utilization / VM-hours agree within a few percent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.modeler import PerformanceModeler
+from ..core.qos import QoSTarget
+from ..errors import ConfigurationError
+from ..prediction.base import ArrivalRatePredictor
+from ..queueing.mm1k import MM1KQueue
+from ..workloads.base import Workload
+
+__all__ = ["FluidResult", "FluidSimulator"]
+
+
+@dataclass(frozen=True)
+class FluidResult:
+    """Aggregate metrics of a fluid run (same semantics as RunResult).
+
+    Attributes
+    ----------
+    total_requests, accepted, rejected:
+        Expected request counts (flows integrated over the horizon).
+    rejection_rate, utilization, vm_hours:
+        The paper's headline aggregates.
+    mean_response_time:
+        Accepted-flow-weighted mean sojourn (paper-scale normalized by
+        the caller when the scenario is scaled).
+    min_instances, max_instances:
+        Fleet-size extrema of the control trajectory.
+    fleet_series:
+        ``(time, instances)`` trajectory (one entry per change).
+    """
+
+    total_requests: float
+    accepted: float
+    rejected: float
+    rejection_rate: float
+    mean_response_time: float
+    min_instances: int
+    max_instances: int
+    vm_hours: float
+    utilization: float
+    fleet_series: Tuple[Tuple[float, int], ...]
+
+
+class FluidSimulator:
+    """Interval-analytical evaluator of a provisioning policy.
+
+    Parameters
+    ----------
+    workload:
+        Demand model (its ``mean_rate`` drives the flow).
+    qos:
+        QoS contract (supplies ``T_s`` and the Eq.-1 capacity).
+    dt:
+        Evaluation interval in seconds.
+    flow_model:
+        ``"deterministic"`` (default) or ``"markovian"``.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        qos: QoSTarget,
+        dt: float = 60.0,
+        flow_model: str = "deterministic",
+    ) -> None:
+        if dt <= 0.0 or not math.isfinite(dt):
+            raise ConfigurationError(f"dt must be finite and > 0, got {dt!r}")
+        if flow_model not in ("deterministic", "markovian"):
+            raise ConfigurationError(
+                f"flow_model must be 'deterministic' or 'markovian', got {flow_model!r}"
+            )
+        self.workload = workload
+        self.qos = qos
+        self.dt = float(dt)
+        self.flow_model = flow_model
+        self.capacity = qos.queue_capacity(workload.base_service_time)
+        self.service_time = workload.mean_service_time
+
+    # ------------------------------------------------------------------
+    def _station_metrics(self, lam_i: float, m: int) -> Tuple[float, float]:
+        """Per-instance (blocking, sojourn) for offered rate ``lam_i``."""
+        mu = 1.0 / self.service_time
+        if lam_i <= 0.0:
+            return 0.0, self.service_time
+        if self.flow_model == "markovian":
+            q = MM1KQueue(lam_i, mu, self.capacity)
+            return q.blocking_probability, q.mean_response_time
+        # Deterministic flow: rejection only above capacity; sojourn
+        # interpolates between one service time (idle) and the k-deep
+        # worst case (saturated).
+        rho = lam_i / mu
+        if rho >= 1.0:
+            blocking = 1.0 - 1.0 / rho
+            sojourn = self.capacity * self.service_time
+        else:
+            blocking = 0.0
+            # Light-traffic sojourn: service plus residual-wait growth.
+            sojourn = self.service_time * (1.0 + max(0.0, (rho - 0.5)) ** 2)
+        return blocking, min(sojourn, self.capacity * self.service_time)
+
+    # ------------------------------------------------------------------
+    def run_static(self, instances: int, horizon: float) -> FluidResult:
+        """Evaluate a Static-N policy over ``[0, horizon)``."""
+        if instances < 1:
+            raise ConfigurationError(f"instances must be >= 1, got {instances}")
+        times = np.arange(0.0, horizon, self.dt)
+        m_series = [(0.0, int(instances))]
+        return self._integrate(times, np.full(times.size, instances, dtype=np.int64), m_series, horizon)
+
+    def run_adaptive(
+        self,
+        predictor: ArrivalRatePredictor,
+        modeler: PerformanceModeler,
+        horizon: float,
+        update_interval: float = 900.0,
+        lead_time: float = 60.0,
+        initial_instances: int = 1,
+    ) -> FluidResult:
+        """Evaluate the adaptive control plane over ``[0, horizon)``.
+
+        Replays the analyzer cadence (regular interval plus predictor
+        boundaries, each ``lead_time`` early) and Algorithm 1 exactly as
+        the DES does, then integrates the flow.
+        """
+        if update_interval <= 0.0:
+            raise ConfigurationError(f"update interval must be > 0, got {update_interval!r}")
+        # --- control trajectory -----------------------------------------
+        alert_times: List[float] = [0.0]
+        t = 0.0
+        while True:
+            nxt = t + update_interval
+            # Mirror WorkloadAnalyzer._next_alert_time exactly: alerts
+            # both one lead early (scale-up head start) and exactly at
+            # each boundary (no premature scale-down).
+            for b in predictor.boundaries(t, nxt + lead_time):
+                for cand in (b - lead_time, b):
+                    if t < cand < nxt:
+                        nxt = cand
+            if nxt >= horizon:
+                break
+            alert_times.append(nxt)
+            t = nxt
+        m = max(1, int(initial_instances))
+        m_changes: List[Tuple[float, int]] = []
+        for i, ta in enumerate(alert_times):
+            window_start = ta
+            window_end = (alert_times[i + 1] if i + 1 < len(alert_times) else horizon) + lead_time
+            window_end = max(window_end, window_start + 1e-9)
+            lam = predictor.predict(window_start, window_end)
+            decision = modeler.decide(lam, self.service_time, m)
+            m = decision.instances
+            m_changes.append((ta, m))
+        # --- sample m(t) on the integration grid -------------------------
+        times = np.arange(0.0, horizon, self.dt)
+        change_times = np.array([t for t, _ in m_changes])
+        change_values = np.array([v for _, v in m_changes], dtype=np.int64)
+        idx = np.clip(np.searchsorted(change_times, times, side="right") - 1, 0, None)
+        m_grid = change_values[idx]
+        return self._integrate(times, m_grid, m_changes, horizon)
+
+    # ------------------------------------------------------------------
+    def _integrate(
+        self,
+        times: np.ndarray,
+        m_grid: np.ndarray,
+        m_series: List[Tuple[float, int]],
+        horizon: float,
+    ) -> FluidResult:
+        lam = np.asarray(self.workload.mean_rate(times), dtype=np.float64)
+        dt = self.dt
+        total = accepted = rejected = 0.0
+        busy = 0.0
+        resp_weighted = 0.0
+        for lam_t, m in zip(lam, m_grid):
+            m = int(m)
+            lam_i = lam_t / m
+            blocking, sojourn = self._station_metrics(lam_i, m)
+            acc_rate = lam_t * (1.0 - blocking)
+            total += lam_t * dt
+            accepted += acc_rate * dt
+            rejected += lam_t * blocking * dt
+            busy += acc_rate * self.service_time * dt
+            resp_weighted += acc_rate * dt * sojourn
+        vm_seconds = float(np.sum(m_grid.astype(np.float64) * dt))
+        vm_hours = vm_seconds / 3600.0
+        return FluidResult(
+            total_requests=total,
+            accepted=accepted,
+            rejected=rejected,
+            rejection_rate=(rejected / total) if total > 0 else 0.0,
+            mean_response_time=(resp_weighted / accepted) if accepted > 0 else 0.0,
+            min_instances=int(m_grid.min()) if m_grid.size else 0,
+            max_instances=int(m_grid.max()) if m_grid.size else 0,
+            vm_hours=vm_hours,
+            utilization=(busy / vm_seconds) if vm_seconds > 0 else 0.0,
+            fleet_series=tuple(m_series),
+        )

@@ -1,0 +1,213 @@
+"""The *scientific* workload — Bag-of-Tasks grid jobs (paper §V-B2).
+
+Arrivals follow the Grid Workloads Archive BoT model of Iosup et al.
+with the exact parameters quoted in the paper:
+
+* **peak time** (8 a.m.–5 p.m.): job interarrival times are
+  ``Weibull(shape=4.25, scale=7.86)`` seconds — the mode is the paper's
+  7.379 s;
+* **off-peak**: the number of jobs in each 30-minute period is
+  ``Weibull(shape=1.79, scale=24.16)`` (mode 15.298), with the jobs
+  arriving at equal intervals inside the period;
+* each job carries ``size`` tasks (requests) where size is a
+  ``Weibull(shape=1.76, scale=2.11)`` draw (mode 1.309), rounded to an
+  integer ≥ 1 — the paper "multiplied the number of arriving requests
+  ... by the BoT size class".
+
+Each request needs ``T_r = 300 s`` (+U(0, 10 %)) of service;
+``T_s = 700 s``; max rejection 0 %; minimum utilization 80 %; one-day
+horizon starting 12 a.m.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..sim.calendar import SECONDS_PER_HOUR, seconds_of_day
+from .base import Workload
+from .distributions import weibull_mean, weibull_mode
+
+__all__ = ["ScientificWorkload"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class ScientificWorkload(Workload):
+    """Weibull-modulated Bag-of-Tasks arrival process.
+
+    Parameters
+    ----------
+    peak_start_hour, peak_end_hour:
+        Peak window bounds in hours of day (paper: 8 and 17).
+    interarrival_shape, interarrival_scale:
+        Peak-time job interarrival Weibull (paper: 4.25, 7.86 s).
+    offpeak_shape, offpeak_scale:
+        Off-peak jobs-per-30-minutes Weibull (paper: 1.79, 24.16).
+    size_shape, size_scale:
+        BoT size-class Weibull (paper: 1.76, 2.11 tasks/job).
+    base_service_time, service_jitter:
+        Request service law (paper: 300 s, +U(0, 10 %)).
+
+    Notes
+    -----
+    The generation window is 30 minutes — the natural cadence of the
+    off-peak model.  Peak windows are filled by walking Weibull
+    interarrival gaps; the generator keeps no cross-window state, so a
+    window is a pure function of ``(rng, t0)``.
+    """
+
+    name = "scientific"
+    window = 1800.0
+
+    def __init__(
+        self,
+        peak_start_hour: float = 8.0,
+        peak_end_hour: float = 17.0,
+        interarrival_shape: float = 4.25,
+        interarrival_scale: float = 7.86,
+        offpeak_shape: float = 1.79,
+        offpeak_scale: float = 24.16,
+        size_shape: float = 1.76,
+        size_scale: float = 2.11,
+        base_service_time: float = 300.0,
+        service_jitter: float = 0.10,
+    ) -> None:
+        if not 0.0 <= peak_start_hour < peak_end_hour <= 24.0:
+            raise WorkloadError(
+                f"invalid peak window [{peak_start_hour}, {peak_end_hour}]"
+            )
+        for label, val in (
+            ("interarrival_shape", interarrival_shape),
+            ("interarrival_scale", interarrival_scale),
+            ("offpeak_shape", offpeak_shape),
+            ("offpeak_scale", offpeak_scale),
+            ("size_shape", size_shape),
+            ("size_scale", size_scale),
+        ):
+            if val <= 0.0:
+                raise WorkloadError(f"{label} must be > 0, got {val!r}")
+        self.peak_start = peak_start_hour * SECONDS_PER_HOUR
+        self.peak_end = peak_end_hour * SECONDS_PER_HOUR
+        self.ia_shape = float(interarrival_shape)
+        self.ia_scale = float(interarrival_scale)
+        self.op_shape = float(offpeak_shape)
+        self.op_scale = float(offpeak_scale)
+        self.size_shape = float(size_shape)
+        self.size_scale = float(size_scale)
+        self.base_service_time = float(base_service_time)
+        self.service_jitter = float(service_jitter)
+
+    # ------------------------------------------------------------------
+    # model statistics
+    # ------------------------------------------------------------------
+    @property
+    def interarrival_mode(self) -> float:
+        """Mode of the peak interarrival law — paper's 7.379 s."""
+        return weibull_mode(self.ia_shape, self.ia_scale)
+
+    @property
+    def size_mode(self) -> float:
+        """Mode of the size class — paper's 1.309 tasks/job."""
+        return weibull_mode(self.size_shape, self.size_scale)
+
+    @property
+    def offpeak_mode(self) -> float:
+        """Mode of jobs per 30 min off-peak — paper's 15.298."""
+        return weibull_mode(self.op_shape, self.op_scale)
+
+    @property
+    def mean_tasks_per_job(self) -> float:
+        """Exact mean of the discretized size, ``max(1, ⌊Weibull⌋)``.
+
+        ``E[max(1, ⌊X⌋)] = 1 + Σ_{n≥2} P(X ≥ n)`` with the Weibull
+        survival function — an absolutely convergent sum truncated once
+        terms fall below 1e-12.  With the paper's parameters this is
+        ≈ 1.62 tasks/job, which reproduces the reported ≈ 8.3 k
+        requests per simulated day.
+        """
+        total = 1.0
+        n = 2
+        while True:
+            term = math.exp(-((n / self.size_scale) ** self.size_shape))
+            total += term
+            if term < 1e-12 or n > 10_000:
+                break
+            n += 1
+        return total
+
+    def in_peak(self, t: ArrayLike) -> ArrayLike:
+        """Boolean mask: is ``t`` inside the peak window?"""
+        sod = seconds_of_day(np.asarray(t, dtype=np.float64))
+        return (sod >= self.peak_start) & (sod < self.peak_end)
+
+    def mean_rate(self, t: ArrayLike) -> ArrayLike:
+        """Expected task arrival rate (tasks/s) at time ``t``.
+
+        Peak: tasks/job mean divided by mean interarrival.  Off-peak:
+        mean jobs per window × tasks/job ÷ window length.
+        """
+        t_arr = np.asarray(t, dtype=np.float64)
+        tasks = self.mean_tasks_per_job
+        peak_rate = tasks / weibull_mean(self.ia_shape, self.ia_scale)
+        off_rate = weibull_mean(self.op_shape, self.op_scale) * tasks / self.window
+        rate = np.where(self.in_peak(t_arr), peak_rate, off_rate)
+        if np.isscalar(t) or t_arr.ndim == 0:
+            return float(rate)
+        return rate
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def _sample_sizes(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` integer BoT sizes, each ≥ 1 (floor discretization).
+
+        Floor (rather than round) reproduces the paper's reported
+        ≈ 8286 requests/day and the Static-75 "copes with peak demand"
+        observation; see EXPERIMENTS.md.
+        """
+        raw = rng.weibull(self.size_shape, size=n) * self.size_scale
+        return np.maximum(1, np.floor(raw)).astype(np.int64)
+
+    def sample_window(self, rng: np.random.Generator, t0: float) -> np.ndarray:
+        """Task arrival times inside the 30-minute window at ``t0``.
+
+        A window is classified peak/off-peak by its start (the paper's
+        peak bounds are aligned to 30-minute marks, so windows never
+        straddle a boundary under default parameters).
+        """
+        return self.sample_window_thinned(rng, t0, 1.0)
+
+    def sample_window_thinned(
+        self, rng: np.random.Generator, t0: float, keep_prob: float
+    ) -> np.ndarray:
+        """Window arrivals with each task kept with prob ``keep_prob``.
+
+        Thinning is applied per task via a binomial draw on each job's
+        size, preserving the batch (BoT) structure of the stream.
+        """
+        if bool(self.in_peak(t0)):
+            # Walk interarrival gaps; expected jobs/window ≈ 250.
+            expected = int(self.window / weibull_mean(self.ia_shape, self.ia_scale)) + 1
+            gaps = rng.weibull(self.ia_shape, size=int(expected * 1.5) + 8) * self.ia_scale
+            times = t0 + np.cumsum(gaps)
+            while times.size and times[-1] < t0 + self.window:
+                extra = rng.weibull(self.ia_shape, size=32) * self.ia_scale
+                times = np.concatenate([times, times[-1] + np.cumsum(extra)])
+            job_times = times[times < t0 + self.window]
+        else:
+            njobs = int(np.rint(rng.weibull(self.op_shape) * self.op_scale))
+            if njobs <= 0:
+                return np.empty(0)
+            # "jobs arrive in equal intervals inside the 30 minutes period"
+            job_times = t0 + (np.arange(njobs) + 0.5) * (self.window / njobs)
+        if job_times.size == 0:
+            return np.empty(0)
+        sizes = self._sample_sizes(rng, job_times.size)
+        if keep_prob < 1.0:
+            sizes = rng.binomial(sizes, keep_prob)
+        # All tasks of a job arrive together (a BoT is submitted at once).
+        return np.repeat(job_times, sizes)

@@ -1,0 +1,118 @@
+"""Trace-driven workloads and trace I/O.
+
+Real deployments replay production traces (the paper's web model is a
+"simplified version of the traces of access to English Wikipedia
+pages").  :class:`TraceWorkload` replays an explicit list of arrival
+timestamps; :func:`save_trace` / :func:`load_trace` round-trip traces
+through a single-column CSV so example scripts can persist generated
+workloads and users can feed their own.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Iterable, Union
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .base import Workload
+
+__all__ = ["TraceWorkload", "save_trace", "load_trace"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class TraceWorkload(Workload):
+    """Replay a fixed sequence of arrival timestamps.
+
+    Parameters
+    ----------
+    arrival_times:
+        Non-decreasing arrival timestamps (seconds).
+    base_service_time, service_jitter:
+        Service law applied to every replayed request.
+    window:
+        Generation window used when feeding the DES.
+    rate_bin:
+        Bin width (seconds) for the empirical :meth:`mean_rate` curve.
+    """
+
+    name = "trace"
+
+    def __init__(
+        self,
+        arrival_times: Iterable[float],
+        base_service_time: float = 1.0,
+        service_jitter: float = 0.10,
+        window: float = 60.0,
+        rate_bin: float = 60.0,
+    ) -> None:
+        times = np.asarray(list(arrival_times), dtype=np.float64)
+        if times.size and np.any(np.diff(times) < 0.0):
+            raise WorkloadError("trace arrival times must be non-decreasing")
+        if times.size and times[0] < 0.0:
+            raise WorkloadError("trace arrival times must be >= 0")
+        self.times = times
+        self.base_service_time = float(base_service_time)
+        self.service_jitter = float(service_jitter)
+        self.window = float(window)
+        self.rate_bin = float(rate_bin)
+
+    @property
+    def horizon(self) -> float:
+        """Timestamp of the last arrival (0 for an empty trace)."""
+        return float(self.times[-1]) if self.times.size else 0.0
+
+    def mean_rate(self, t: ArrayLike) -> ArrayLike:
+        """Empirical binned rate of the trace (requests/s)."""
+        t_arr = np.asarray(t, dtype=np.float64)
+        if self.times.size == 0:
+            rate = np.zeros_like(t_arr)
+        else:
+            lo = np.floor_divide(t_arr, self.rate_bin) * self.rate_bin
+            counts = np.searchsorted(self.times, lo + self.rate_bin) - np.searchsorted(
+                self.times, lo
+            )
+            rate = counts / self.rate_bin
+        if np.isscalar(t) or t_arr.ndim == 0:
+            return float(rate)
+        return rate
+
+    def sample_window(self, rng: np.random.Generator, t0: float) -> np.ndarray:
+        lo = np.searchsorted(self.times, t0, side="left")
+        hi = np.searchsorted(self.times, t0 + self.window, side="left")
+        return self.times[lo:hi].copy()
+
+
+def save_trace(path: Union[str, Path], arrival_times: Iterable[float]) -> None:
+    """Write arrival timestamps to ``path`` as one-column CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["arrival_time"])
+        for t in arrival_times:
+            if not math.isfinite(t):
+                raise WorkloadError(f"non-finite arrival time {t!r} in trace")
+            writer.writerow([f"{t:.9g}"])
+
+
+def load_trace(path: Union[str, Path], **kwargs) -> TraceWorkload:
+    """Load a trace CSV written by :func:`save_trace`.
+
+    Extra keyword arguments are forwarded to :class:`TraceWorkload`
+    (service law, window, …).
+    """
+    path = Path(path)
+    times = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None or header[0] != "arrival_time":
+            raise WorkloadError(f"{path}: not a trace file (bad header {header!r})")
+        for row in reader:
+            if row:
+                times.append(float(row[0]))
+    return TraceWorkload(times, **kwargs)

@@ -1,0 +1,20 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """A deterministic stream factory for tests."""
+    return RandomStreams(seed=12345)
+
+
+@pytest.fixture
+def rng(streams: RandomStreams) -> np.random.Generator:
+    """A deterministic generator for ad-hoc sampling in tests."""
+    return streams.get("tests.generic")

@@ -1,0 +1,52 @@
+"""Unit tests of the simulation calendar helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.calendar import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_WEEK,
+    day_name,
+    day_of_week,
+    hms,
+    hour_of_day,
+    seconds_of_day,
+)
+
+
+def test_simulation_starts_monday_midnight():
+    assert day_name(0.0) == "Monday"
+    assert hms(0.0) == "Monday 00:00:00"
+
+
+def test_day_of_week_cycles_through_week():
+    times = np.arange(7) * SECONDS_PER_DAY
+    assert list(day_of_week(times)) == [0, 1, 2, 3, 4, 5, 6]
+
+
+def test_day_of_week_wraps_after_week():
+    assert int(day_of_week(SECONDS_PER_WEEK)) == 0
+    assert day_name(SECONDS_PER_WEEK + SECONDS_PER_DAY) == "Tuesday"
+
+
+def test_seconds_of_day_wraps():
+    assert seconds_of_day(SECONDS_PER_DAY + 42.0) == 42.0
+    assert seconds_of_day(0.0) == 0.0
+
+
+def test_hour_of_day():
+    assert hour_of_day(3 * 3600.0) == 3.0
+    assert hour_of_day(SECONDS_PER_DAY + 12 * 3600.0) == 12.0
+
+
+def test_hms_formatting():
+    assert hms(3661.0) == "Monday 01:01:01"
+    assert hms(SECONDS_PER_DAY * 6 + 12 * 3600) == "Sunday 12:00:00"
+
+
+def test_vectorized_matches_scalar():
+    times = np.array([0.0, 90_000.0, 200_000.0])
+    vec = day_of_week(times)
+    for t, d in zip(times, vec):
+        assert int(day_of_week(float(t))) == d

@@ -1,0 +1,116 @@
+"""Tests of the multi-cloud federation (the paper's P = {c1..cn})."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import (
+    ApplicationFleet,
+    CloudFederation,
+    Datacenter,
+    Monitor,
+)
+from repro.errors import ConfigurationError, PlacementError
+from repro.metrics import MetricsCollector
+from repro.sim import Engine, RandomStreams
+from repro.workloads import PoissonWorkload
+
+
+def federation(selection="ordered", hosts=(1, 1)):
+    dcs = [Datacenter(num_hosts=h, name=f"dc-{i}") for i, h in enumerate(hosts)]
+    return CloudFederation(dcs, selection=selection), dcs
+
+
+def test_ordered_fills_preferred_cloud_first():
+    fed, (a, b) = federation("ordered")
+    for _ in range(8):  # dc-0 holds 8 VMs
+        fed.create_vm(0.0)
+    assert fed.placement_census() == {"dc-0": 8, "dc-1": 0}
+    fed.create_vm(0.0)  # spillover
+    assert fed.placement_census() == {"dc-0": 8, "dc-1": 1}
+
+
+def test_balanced_spreads_across_clouds():
+    fed, _ = federation("balanced")
+    for _ in range(6):
+        fed.create_vm(0.0)
+    census = fed.placement_census()
+    assert census == {"dc-0": 3, "dc-1": 3}
+
+
+def test_exhaustion_raises_with_census():
+    fed, _ = federation()
+    for _ in range(16):
+        fed.create_vm(0.0)
+    with pytest.raises(PlacementError) as err:
+        fed.create_vm(0.0)
+    assert "census" in str(err.value)
+
+
+def test_destroy_returns_capacity_to_home_cloud():
+    fed, (a, b) = federation()
+    vms = [fed.create_vm(0.0) for _ in range(9)]  # 8 on dc-0, 1 on dc-1
+    fed.destroy_vm(vms[0], 10.0)
+    assert a.live_vms == 7 and b.live_vms == 1
+    fed.create_vm(20.0)  # refills dc-0 (ordered preference)
+    assert a.live_vms == 8
+
+
+def test_destroy_unmanaged_vm_raises():
+    fed, (a, _) = federation()
+    foreign = Datacenter(num_hosts=1, name="foreign").create_vm(0.0)
+    with pytest.raises(PlacementError):
+        fed.destroy_vm(foreign, 1.0)
+
+
+def test_accounting_aggregates():
+    fed, _ = federation()
+    vms = [fed.create_vm(0.0) for _ in range(9)]
+    assert fed.vm_seconds(100.0) == pytest.approx(9 * 100.0)
+    assert fed.core_seconds(100.0) == pytest.approx(9 * 100.0)
+    assert fed.max_vms() == 16
+    assert fed.free_cores == 16 - 9
+
+
+def test_resize_routed_to_home_cloud():
+    fed, (a, b) = federation(hosts=(1, 2))
+    vms = [fed.create_vm(0.0) for _ in range(8)]  # fills dc-0
+    spill = fed.create_vm(0.0)  # lands on dc-1
+    assert fed.resize_vm(vms[0], 2, 1.0) is False  # dc-0 full
+    assert fed.resize_vm(spill, 4, 1.0) is True
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        CloudFederation([])
+    with pytest.raises(ConfigurationError):
+        CloudFederation([Datacenter(num_hosts=1)], selection="cheapest")
+    dc = Datacenter(num_hosts=1, name="x")
+    with pytest.raises(ConfigurationError):
+        CloudFederation([dc, Datacenter(num_hosts=1, name="x")])
+
+
+def test_fleet_runs_on_federation():
+    """The fleet consumes the federation through the same interface."""
+    engine = Engine()
+    streams = RandomStreams(0)
+    metrics = MetricsCollector()
+    fed, (a, b) = federation(hosts=(1, 2))
+    monitor = Monitor(engine, metrics, default_service_time=1.0)
+    workload = PoissonWorkload(rate=1.0, base_service_time=1.0)
+    workload.service_jitter = 0.0
+    fleet = ApplicationFleet(
+        engine=engine,
+        datacenter=fed,  # duck-typed
+        sampler=workload.service_sampler(streams.get("service")),
+        monitor=monitor,
+        metrics=metrics,
+        capacity=2,
+    )
+    assert fleet.scale_to(12) == 12  # spans both clouds
+    assert fed.placement_census() == {"dc-0": 8, "dc-1": 4}
+    fleet.scale_to(2)
+    assert fed.live_vms == 2
+    assert fleet.dispatch(0.0)
+    engine.run(until=10.0)
+    assert metrics.completed == 1

@@ -1,0 +1,104 @@
+"""Unit tests of the application instance (the M/M/1/k station)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import InstanceState
+
+from helpers import make_env
+
+
+def new_instance(env, capacity=2):
+    env.fleet.capacity = capacity
+    env.fleet.scale_to(1)
+    return env.fleet.active_instances[0]
+
+
+def test_accept_serves_fifo_with_deterministic_service():
+    env = make_env(capacity=3, service_time=1.0)
+    inst = new_instance(env, capacity=3)
+    inst.accept(0.0)
+    inst.accept(0.0)
+    inst.accept(0.0)
+    assert inst.occupancy == 3
+    assert inst.is_full
+    env.engine.run(until=10.0)
+    assert inst.served == 3
+    assert inst.occupancy == 0
+    # Responses: 1, 2, 3 seconds (back-to-back unit services).
+    assert env.metrics.completed == 3
+    assert env.metrics.mean_response_time == pytest.approx(2.0)
+
+
+def test_busy_time_accumulates():
+    env = make_env(capacity=2, service_time=1.5)
+    inst = new_instance(env)
+    inst.accept(0.0)
+    inst.accept(0.0)
+    env.engine.run(until=10.0)
+    assert inst.busy_seconds == pytest.approx(3.0)
+    assert env.metrics.busy_seconds == pytest.approx(3.0)
+
+
+def test_accept_when_full_is_programming_error():
+    env = make_env(capacity=1)
+    inst = new_instance(env, capacity=1)
+    inst.accept(0.0)
+    with pytest.raises(RuntimeError):
+        inst.accept(0.0)
+
+
+def test_drain_empty_instance_fires_immediately():
+    env = make_env()
+    env.fleet.scale_to(2)
+    env.fleet.scale_to(1)  # one idle instance destroyed immediately
+    assert env.fleet.live_count == 1
+
+
+def test_draining_busy_instance_finishes_work():
+    env = make_env(capacity=2, service_time=1.0)
+    env.fleet.scale_to(1)
+    inst = env.fleet.active_instances[0]
+    inst.accept(0.0)
+    env.fleet.scale_to(0)  # must drain, not kill
+    assert inst.state is InstanceState.DRAINING
+    assert env.fleet.live_count == 1
+    env.engine.run(until=5.0)
+    assert inst.state is InstanceState.DESTROYED
+    assert env.metrics.completed == 1  # the in-flight request completed
+
+
+def test_drain_then_revive():
+    env = make_env(capacity=2, service_time=1.0)
+    env.fleet.scale_to(1)
+    inst = env.fleet.active_instances[0]
+    inst.accept(0.0)
+    env.fleet.scale_to(0)
+    assert inst.state is InstanceState.DRAINING
+    env.fleet.scale_to(1)  # revive instead of creating a new VM
+    assert inst.state is InstanceState.ACTIVE
+    assert env.fleet.active_instances == [inst]
+    env.engine.run(until=5.0)
+    assert inst.state is InstanceState.ACTIVE  # stays alive after completing
+
+
+def test_occupancy_counts_in_service_plus_queue():
+    env = make_env(capacity=3)
+    inst = new_instance(env, capacity=3)
+    assert inst.is_idle
+    inst.accept(0.0)
+    assert inst.occupancy == 1 and not inst.is_full
+    inst.accept(0.0)
+    inst.accept(0.0)
+    assert inst.occupancy == 3 and inst.is_full
+
+
+def test_invalid_capacity_rejected():
+    env = make_env()
+    from repro.cloud import AppInstance
+
+    with pytest.raises(ValueError):
+        AppInstance(
+            0, None, 0, env.engine, None, env.monitor, lambda inst: None
+        )

@@ -1,0 +1,69 @@
+"""Tests of the percentile-QoS modeler option."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PerformanceModeler, QoSTarget
+from repro.errors import ConfigurationError
+from repro.queueing import MD1KQueue
+
+
+QOS = QoSTarget(max_response_time=0.250, min_utilization=0.80)
+
+
+def modeler(percentile=None, **kw):
+    defaults = dict(qos=QOS, capacity=2, max_vms=8000)
+    defaults.update(kw)
+    return PerformanceModeler(response_percentile=percentile, **defaults)
+
+
+def test_percentile_never_provisions_less():
+    mean_based = modeler()
+    p95 = modeler(percentile=0.95)
+    for lam in (400.0, 800.0, 1200.0):
+        m_mean = mean_based.decide(lam, 0.105, 100).instances
+        m_p95 = p95.decide(lam, 0.105, 100).instances
+        assert m_p95 >= m_mean - 1
+
+
+def test_percentile_check_actually_holds():
+    from repro.queueing import MM1KQueue
+
+    p95 = modeler(percentile=0.95)
+    d = p95.decide(1000.0, 0.105, 100)
+    if d.meets_qos:
+        lam_i = 1000.0 / d.instances
+        station = MM1KQueue(lam_i, 1.0 / 0.105, 2)
+        assert station.response_time_quantile(0.95) <= QOS.max_response_time + 1e-9
+
+
+def test_percentile_with_tight_deadline_forces_larger_fleet():
+    # k = 2 with Ts barely above 2 services: the p99 sojourn binds hard.
+    qos = QoSTarget(max_response_time=0.212, min_utilization=0.5)
+    mean_based = PerformanceModeler(qos=qos, capacity=2, max_vms=8000)
+    p99 = PerformanceModeler(
+        qos=qos, capacity=2, max_vms=8000, response_percentile=0.99
+    )
+    m_mean = mean_based.decide(1000.0, 0.105, 100).instances
+    m_p99 = p99.decide(1000.0, 0.105, 100).instances
+    assert m_p99 > m_mean
+
+
+def test_zero_rate_trivially_meets_percentile():
+    d = modeler(percentile=0.95).decide(0.0, 0.105, 10)
+    assert d.instances == 1
+    assert d.meets_qos
+
+
+def test_percentile_requires_capable_model():
+    m = modeler(percentile=0.95, instance_model=MD1KQueue)
+    with pytest.raises(ConfigurationError):
+        m.decide(1000.0, 0.105, 100)
+
+
+def test_percentile_validation():
+    with pytest.raises(ConfigurationError):
+        modeler(percentile=1.0)
+    with pytest.raises(ConfigurationError):
+        modeler(percentile=0.0)

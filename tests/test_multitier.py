@@ -1,0 +1,115 @@
+"""Tests of the DES multi-tier (composite-service) deployment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud import Datacenter, MultiTierDeployment, TierSpec, WorkloadSource
+from repro.errors import ConfigurationError
+from repro.metrics import MetricsCollector
+from repro.queueing import TandemNetwork, TandemStage
+from repro.sim import Engine, RandomStreams
+from repro.workloads import PoissonWorkload
+
+
+def build(tiers, seed=0, qos_ts=float("inf")):
+    engine = Engine()
+    streams = RandomStreams(seed)
+    metrics = MetricsCollector(qos_response_time=qos_ts)
+    dc = Datacenter(num_hosts=64)
+    deployment = MultiTierDeployment(engine, dc, streams, metrics, tiers)
+    return engine, streams, metrics, dc, deployment
+
+
+def tier(name, service, capacity=4, instances=1, jitter=0.0, exponential=False):
+    w = PoissonWorkload(
+        rate=1.0, base_service_time=service, exponential_service=exponential
+    )
+    if not exponential:
+        w.service_jitter = jitter
+    return TierSpec(name, w, capacity=capacity, instances=instances)
+
+
+def test_end_to_end_response_sums_tiers():
+    engine, _, metrics, _, deployment = build(
+        [tier("a", 1.0), tier("b", 2.0), tier("c", 0.5)]
+    )
+    deployment.front_admission.submit(engine.now)
+    engine.run(until=100.0)
+    assert metrics.completed == 1
+    assert metrics.mean_response_time == pytest.approx(3.5)
+
+
+def test_busy_time_counts_every_tier():
+    engine, _, metrics, _, deployment = build([tier("a", 1.0), tier("b", 2.0)])
+    deployment.front_admission.submit(engine.now)
+    deployment.front_admission.submit(engine.now)
+    engine.run(until=100.0)
+    assert metrics.busy_seconds == pytest.approx(2 * 3.0)
+
+
+def test_front_rejection_vs_downstream_drop_accounting():
+    # Front tier has room for 2, back tier for only 1 → the second
+    # request is admitted but dropped downstream.
+    engine, _, metrics, _, deployment = build(
+        [tier("front", 1.0, capacity=2), tier("back", 50.0, capacity=1)]
+    )
+    for _ in range(2):
+        assert deployment.front_admission.submit(engine.now)
+    engine.run(until=10.0)
+    assert metrics.accepted == 2
+    assert metrics.dropped_downstream == 1
+    assert metrics.rejected == 0
+    assert metrics.loss_rate == pytest.approx(0.5)
+
+
+def test_tier_fleets_independent():
+    engine, _, _, dc, deployment = build(
+        [tier("a", 1.0, instances=3), tier("b", 1.0, instances=5)]
+    )
+    assert deployment.tier_fleet("a").serving_count == 3
+    assert deployment.tier_fleet("b").serving_count == 5
+    assert dc.live_vms == 8
+
+
+def test_single_tier_degenerates_to_plain_deployment():
+    engine, _, metrics, _, deployment = build([tier("only", 1.5)])
+    deployment.front_admission.submit(engine.now)
+    engine.run(until=10.0)
+    assert metrics.completed == 1
+    assert metrics.mean_response_time == pytest.approx(1.5)
+
+
+def test_validation():
+    engine = Engine()
+    with pytest.raises(ConfigurationError):
+        MultiTierDeployment(
+            engine, Datacenter(num_hosts=2), RandomStreams(0), MetricsCollector(), []
+        )
+    with pytest.raises(ConfigurationError):
+        tier("bad", 1.0, capacity=0)
+
+
+def test_two_tier_poisson_matches_tandem_analytics():
+    """Unbounded-ish M/M tiers must reproduce the Burke-chained formulas."""
+    tiers = [
+        tier("a", 1.0, capacity=200, instances=1, exponential=True),
+        tier("b", 0.5, capacity=200, instances=1, exponential=True),
+    ]
+    engine, streams, metrics, _, deployment = build(tiers, seed=3)
+    workload = PoissonWorkload(rate=0.6, base_service_time=1.0, window=500.0)
+    source = WorkloadSource(
+        engine, workload, streams.get("arrivals"), deployment.front_admission, 150_000.0
+    )
+    source.start()
+    engine.run(until=150_000.0)
+    analytic = TandemNetwork(
+        [
+            TandemStage("a", service_time=1.0, instances=1),
+            TandemStage("b", service_time=0.5, instances=1),
+        ]
+    )
+    expected = analytic.end_to_end_response(0.6)
+    assert metrics.mean_response_time == pytest.approx(expected, rel=0.05)
+    assert metrics.loss_rate < 1e-3

@@ -1,0 +1,84 @@
+"""Tests of result persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import StaticPolicy, QoSTarget
+from repro.errors import ConfigurationError
+from repro.experiments import run_policy, web_scenario
+from repro.experiments.persist import (
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.sim.fluid import FluidSimulator
+from repro.workloads import PoissonWorkload
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    scenario = web_scenario(scale=5000.0, horizon=2 * 3600.0, track_fleet_series=True)
+    return run_policy(scenario, StaticPolicy(20), seed=0)
+
+
+@pytest.fixture(scope="module")
+def fluid_result():
+    w = PoissonWorkload(rate=2.0, base_service_time=1.0, exponential_service=False)
+    fluid = FluidSimulator(w, QoSTarget(max_response_time=3.0))
+    return fluid.run_static(4, horizon=600.0)
+
+
+def test_run_result_roundtrip(tmp_path, run_result):
+    path = tmp_path / "results.json"
+    save_results(path, [run_result])
+    loaded = load_results(path)
+    assert loaded == [run_result]
+
+
+def test_fluid_result_roundtrip(tmp_path, fluid_result):
+    path = tmp_path / "fluid.json"
+    save_results(path, [fluid_result])
+    assert load_results(path) == [fluid_result]
+
+
+def test_mixed_results_roundtrip(tmp_path, run_result, fluid_result):
+    path = tmp_path / "mixed.json"
+    save_results(path, [run_result, fluid_result])
+    loaded = load_results(path)
+    assert loaded[0] == run_result
+    assert loaded[1] == fluid_result
+
+
+def test_dict_roundtrip_preserves_fleet_series(run_result):
+    blob = result_to_dict(run_result)
+    restored = result_from_dict(json.loads(json.dumps(blob)))
+    assert restored.fleet_series == run_result.fleet_series
+    assert isinstance(restored.fleet_series, tuple)
+
+
+def test_rejects_foreign_files(tmp_path):
+    path = tmp_path / "foreign.json"
+    path.write_text(json.dumps({"format": "something-else"}))
+    with pytest.raises(ConfigurationError):
+        load_results(path)
+
+
+def test_rejects_future_versions(tmp_path):
+    path = tmp_path / "future.json"
+    path.write_text(json.dumps({"format": "repro-results", "version": 999, "results": []}))
+    with pytest.raises(ConfigurationError):
+        load_results(path)
+
+
+def test_rejects_unknown_kind():
+    with pytest.raises(ConfigurationError):
+        result_from_dict({"kind": "mystery", "data": {}})
+
+
+def test_rejects_non_result_objects():
+    with pytest.raises(ConfigurationError):
+        result_to_dict({"not": "a result"})  # type: ignore[arg-type]

@@ -1,0 +1,149 @@
+"""Tests of policies and the experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AdaptivePolicy, StaticPolicy
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    build_context,
+    run_policy,
+    run_replications,
+    scientific_scenario,
+    web_scenario,
+)
+from repro.sim.calendar import SECONDS_PER_DAY
+
+
+def quick_web(**kw):
+    defaults = dict(scale=5000.0, horizon=4 * 3600.0)
+    defaults.update(kw)
+    return web_scenario(**defaults)
+
+
+# ----------------------------------------------------------------------
+# policies
+# ----------------------------------------------------------------------
+def test_static_policy_deploys_fixed_fleet():
+    ctx = build_context(quick_web(), seed=0)
+    StaticPolicy(7).attach(ctx)
+    assert ctx.fleet.serving_count == 7
+
+
+def test_static_policy_name():
+    assert StaticPolicy(75).name == "Static-75"
+
+
+def test_static_policy_validation():
+    with pytest.raises(ConfigurationError):
+        StaticPolicy(0)
+
+
+def test_static_policy_raises_when_dc_too_small():
+    sc = quick_web(num_hosts=1)  # 8 VM slots
+    ctx = build_context(sc, seed=0)
+    with pytest.raises(ConfigurationError):
+        StaticPolicy(20).attach(ctx)
+
+
+def test_adaptive_policy_wires_control_plane():
+    ctx = build_context(quick_web(), seed=0)
+    AdaptivePolicy().attach(ctx)
+    assert ctx.provisioner is not None
+    assert ctx.analyzer is not None
+    # The t=0 alert fires when the engine starts; nothing deployed yet.
+    assert ctx.fleet.serving_count == 0
+
+
+def test_adaptive_policy_validation():
+    with pytest.raises(ConfigurationError):
+        AdaptivePolicy(update_interval=0.0)
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+def test_same_seed_reproducible():
+    sc = quick_web()
+    a = run_policy(sc, AdaptivePolicy(), seed=3)
+    b = run_policy(sc, AdaptivePolicy(), seed=3)
+    assert a.total_requests == b.total_requests
+    assert a.mean_response_time == b.mean_response_time
+    assert a.vm_hours == b.vm_hours
+    assert a.rejection_rate == b.rejection_rate
+
+
+def test_different_seeds_differ():
+    sc = quick_web()
+    a = run_policy(sc, AdaptivePolicy(), seed=0)
+    b = run_policy(sc, AdaptivePolicy(), seed=1)
+    assert a.total_requests != b.total_requests
+
+
+def test_policies_share_arrival_stream_per_seed():
+    sc = quick_web()
+    a = run_policy(sc, StaticPolicy(30), seed=2)
+    b = run_policy(sc, StaticPolicy(60), seed=2)
+    # Common random numbers: identical offered traffic.
+    assert a.total_requests == b.total_requests
+
+
+def test_response_times_normalized_to_paper_scale():
+    sc = quick_web()
+    r = run_policy(sc, StaticPolicy(40), seed=0)
+    # Scaled service time is 500 s, but the normalized report must be
+    # in the paper's ~0.1 s range.
+    assert 0.09 < r.mean_response_time < 0.25
+
+
+def test_static_vm_hours_equal_fleet_times_horizon():
+    sc = quick_web(horizon=2 * 3600.0)
+    r = run_policy(sc, StaticPolicy(10), seed=0)
+    assert r.vm_hours == pytest.approx(20.0)
+    assert r.min_instances == 10 and r.max_instances == 10
+
+
+def test_run_replications_fresh_policy_each_time():
+    sc = quick_web()
+    results = run_replications(sc, lambda: StaticPolicy(20), seeds=(0, 1))
+    assert len(results) == 2
+    assert {r.seed for r in results} == {0, 1}
+
+
+def test_scenario_config_capacity_property():
+    assert quick_web().capacity == 2
+    assert scientific_scenario().capacity == 2
+
+
+def test_scenario_with_updates():
+    sc = scientific_scenario()
+    sc2 = sc.with_updates(horizon=7200.0)
+    assert sc2.horizon == 7200.0
+    assert sc2.workload is sc.workload
+
+
+def test_scenario_validation():
+    from repro.errors import ReproError
+
+    with pytest.raises(ConfigurationError):
+        web_scenario(horizon=-1.0)
+    with pytest.raises(ReproError):  # raised by the workload scaler
+        web_scenario(scale=0.0)
+
+
+def test_adaptive_tracks_diurnal_web_load():
+    # Track a rising Monday morning: the fleet at 10 a.m. must exceed
+    # the midnight fleet.
+    sc = quick_web(horizon=10 * 3600.0, track_fleet_series=True)
+    r = run_policy(sc, AdaptivePolicy(), seed=0)
+    assert r.max_instances > r.min_instances
+    assert r.rejection_rate < 0.01
+
+
+def test_scientific_one_day_smoke():
+    sc = scientific_scenario(horizon=SECONDS_PER_DAY)
+    r = run_policy(sc, AdaptivePolicy(update_interval=1800.0), seed=1)
+    assert r.qos_violations == 0
+    assert r.rejection_rate < 0.02
+    assert 0.6 < r.utilization < 0.9

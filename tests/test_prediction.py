@@ -1,0 +1,207 @@
+"""Unit tests of the predictor family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction import (
+    ARPredictor,
+    ARXPredictor,
+    EWMAPredictor,
+    LastValuePredictor,
+    ModelInformedPredictor,
+    MovingAveragePredictor,
+    OraclePredictor,
+    QRSMPredictor,
+)
+from repro.sim.calendar import SECONDS_PER_DAY
+from repro.workloads import PiecewiseRateWorkload, WebWorkload
+
+
+# ----------------------------------------------------------------------
+# model-informed
+# ----------------------------------------------------------------------
+def test_model_informed_max_mode():
+    w = WebWorkload()
+    pred = ModelInformedPredictor(w, mode="max")
+    # Window around Monday noon: max is the noon peak, 1000 req/s.
+    rate = pred.predict(11.5 * 3600, 12.5 * 3600)
+    assert rate == pytest.approx(1000.0, rel=1e-3)
+
+
+def test_model_informed_mean_mode_below_max():
+    w = WebWorkload()
+    hi = ModelInformedPredictor(w, mode="max").predict(6 * 3600, 10 * 3600)
+    mean = ModelInformedPredictor(w, mode="mean").predict(6 * 3600, 10 * 3600)
+    assert mean < hi
+
+
+def test_model_informed_half_open_window():
+    # A regime switch exactly at t1 must not leak into the prediction.
+    w = PiecewiseRateWorkload([(0.0, 1.0), (100.0, 50.0)])
+    pred = ModelInformedPredictor(w, mode="max", resolution=10.0)
+    assert pred.predict(0.0, 100.0) == pytest.approx(1.0)
+    assert pred.predict(100.0, 200.0) == pytest.approx(50.0)
+
+
+def test_model_informed_safety_factor():
+    w = PiecewiseRateWorkload([(0.0, 10.0)])
+    pred = ModelInformedPredictor(w, safety_factor=1.5)
+    assert pred.predict(0.0, 60.0) == pytest.approx(15.0)
+
+
+def test_model_informed_web_period_boundaries():
+    pred = ModelInformedPredictor(WebWorkload())
+    bs = pred.boundaries(0.0, SECONDS_PER_DAY)
+    hours = sorted(b / 3600.0 for b in bs)
+    assert hours == [2.0, 7.0, 11.5, 12.5, 16.0, 20.0]
+
+
+def test_model_informed_validation():
+    w = WebWorkload()
+    with pytest.raises(PredictionError):
+        ModelInformedPredictor(w, mode="median")
+    with pytest.raises(PredictionError):
+        ModelInformedPredictor(w).predict(10.0, 10.0)
+
+
+# ----------------------------------------------------------------------
+# reactive
+# ----------------------------------------------------------------------
+def test_last_value():
+    p = LastValuePredictor()
+    with pytest.raises(PredictionError):
+        p.predict(0, 1)
+    p.observe(0.0, 5.0)
+    p.observe(1.0, 7.0)
+    assert p.predict(2, 3) == 7.0
+
+
+def test_moving_average():
+    p = MovingAveragePredictor(window=3)
+    for i, r in enumerate([1.0, 2.0, 3.0, 4.0]):
+        p.observe(float(i), r)
+    assert p.predict(5, 6) == pytest.approx(3.0)  # mean of last 3
+
+
+def test_ewma_tracks_level():
+    p = EWMAPredictor(alpha=0.5)
+    p.observe(0, 10.0)
+    p.observe(1, 20.0)
+    assert p.predict(2, 3) == pytest.approx(15.0)
+
+
+def test_reactive_safety_factor():
+    p = LastValuePredictor(safety_factor=2.0)
+    p.observe(0, 3.0)
+    assert p.predict(1, 2) == 6.0
+
+
+def test_reactive_validation():
+    with pytest.raises(PredictionError):
+        MovingAveragePredictor(window=0)
+    with pytest.raises(PredictionError):
+        EWMAPredictor(alpha=0.0)
+    with pytest.raises(PredictionError):
+        LastValuePredictor(safety_factor=0.0)
+    p = LastValuePredictor()
+    with pytest.raises(PredictionError):
+        p.observe(0.0, -1.0)
+
+
+# ----------------------------------------------------------------------
+# AR / ARX
+# ----------------------------------------------------------------------
+def test_ar_learns_constant_series():
+    p = ARPredictor(order=2)
+    for i in range(20):
+        p.observe(float(i), 10.0)
+    assert p.predict(20, 21) == pytest.approx(10.0, rel=1e-6)
+
+
+def test_ar_learns_linear_trend():
+    p = ARPredictor(order=2, history=64)
+    for i in range(30):
+        p.observe(float(i), 5.0 + 2.0 * i)
+    forecast = p.predict(30, 31)
+    assert forecast == pytest.approx(5.0 + 2.0 * 30, rel=0.05)
+
+
+def test_ar_needs_enough_history():
+    p = ARPredictor(order=3)
+    p.observe(0, 1.0)
+    with pytest.raises(PredictionError):
+        p.predict(1, 2)
+
+
+def test_arx_anticipates_diurnal_phase():
+    # Feed a pure sine of the day phase; ARX should extrapolate it well
+    # across the peak, where a plain AR lags.
+    arx = ARXPredictor(order=1, history=96)
+    step = 1800.0
+    for i in range(48):  # one day of half-hour samples
+        t = i * step
+        rate = 100.0 + 50.0 * np.sin(np.pi * (t % SECONDS_PER_DAY) / SECONDS_PER_DAY)
+        arx.observe(t, rate)
+    t_next = 48 * step  # midnight next day: phase 0 → rate 100
+    forecast = arx.predict(t_next, t_next + step)
+    assert forecast == pytest.approx(100.0, rel=0.1)
+
+
+def test_ar_forecast_never_negative():
+    p = ARPredictor(order=1, history=16)
+    for i, r in enumerate([100.0, 50.0, 10.0, 1.0, 0.5, 0.1]):
+        p.observe(float(i), r)
+    assert p.predict(6, 7) >= 0.0
+
+
+def test_ar_validation():
+    with pytest.raises(PredictionError):
+        ARPredictor(order=0)
+    with pytest.raises(PredictionError):
+        ARPredictor(order=5, history=10)
+
+
+# ----------------------------------------------------------------------
+# QRSM
+# ----------------------------------------------------------------------
+def test_qrsm_fits_quadratic():
+    p = QRSMPredictor(history=16, clamp_growth=100.0)
+    for i in range(10):
+        t = float(i)
+        p.observe(t, 2.0 + 0.5 * t + 0.25 * t * t)
+    expected = 2.0 + 0.5 * 10.5 + 0.25 * 10.5**2
+    assert p.predict(10.0, 11.0) == pytest.approx(expected, rel=0.05)
+
+
+def test_qrsm_clamps_explosive_extrapolation():
+    p = QRSMPredictor(history=8, clamp_growth=2.0)
+    for i, r in enumerate([1.0, 2.0, 4.0, 8.0, 16.0]):
+        p.observe(float(i), r)
+    forecast = p.predict(20.0, 21.0)  # far extrapolation would explode
+    assert forecast <= 32.0  # clamped to last × 2
+
+
+def test_qrsm_needs_three_samples():
+    p = QRSMPredictor()
+    p.observe(0, 1.0)
+    p.observe(1, 2.0)
+    with pytest.raises(PredictionError):
+        p.predict(2, 3)
+
+
+# ----------------------------------------------------------------------
+# oracle
+# ----------------------------------------------------------------------
+def test_oracle_exact_mean():
+    w = PiecewiseRateWorkload([(0.0, 10.0), (50.0, 30.0)])
+    p = OraclePredictor(w, mode="mean", resolution=1.0)
+    assert p.predict(0.0, 100.0) == pytest.approx(20.0, rel=0.02)
+
+
+def test_oracle_max_mode():
+    w = PiecewiseRateWorkload([(0.0, 10.0), (50.0, 30.0)])
+    p = OraclePredictor(w, mode="max", resolution=1.0)
+    assert p.predict(0.0, 100.0) == pytest.approx(30.0)

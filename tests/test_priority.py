@@ -1,0 +1,89 @@
+"""Tests of priority-aware (trunk-reservation) admission."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.priority import HIGH, LOW, PriorityAdmissionControl
+from repro.errors import ConfigurationError
+
+from helpers import make_env
+
+
+def make_priority_env(instances=2, capacity=2, reserved=0, service_time=100.0):
+    env = make_env(capacity=capacity, service_time=service_time)
+    env.fleet.scale_to(instances)
+    pac = PriorityAdmissionControl(
+        env.fleet, env.monitor, reserved_slots=reserved
+    )
+    return env, pac
+
+
+def test_zero_reservation_equals_plain_admission():
+    env, pac = make_priority_env(instances=1, capacity=2)
+    assert pac.submit(0.0, LOW)
+    assert pac.submit(0.0, LOW)
+    assert not pac.submit(0.0, LOW)  # queue-length gate
+    assert pac.per_class[LOW].accepted == 2
+    assert pac.per_class[LOW].rejected == 1
+
+
+def test_reservation_holds_slots_for_high_priority():
+    env, pac = make_priority_env(instances=2, capacity=2, reserved=2)
+    # 4 slots total; low-priority may use slots while > 2 remain free.
+    assert pac.submit(0.0, LOW)
+    assert pac.submit(0.0, LOW)
+    assert not pac.submit(0.0, LOW)  # 2 free <= 2 reserved
+    # High priority still gets the reserved slots.
+    assert pac.submit(0.0, HIGH)
+    assert pac.submit(0.0, HIGH)
+    assert not pac.submit(0.0, HIGH)  # now genuinely full
+    assert pac.per_class[LOW].rejection_rate == pytest.approx(1 / 3)
+    assert pac.per_class[HIGH].rejection_rate == pytest.approx(1 / 3)
+
+
+def test_free_slots_accounting():
+    env, pac = make_priority_env(instances=3, capacity=2)
+    assert pac.free_slots() == 6
+    pac.submit(0.0, HIGH)
+    assert pac.free_slots() == 5
+
+
+def test_global_metrics_still_recorded():
+    env, pac = make_priority_env(instances=1, capacity=1, reserved=0)
+    pac.submit(0.0, LOW)
+    pac.submit(0.0, LOW)
+    assert env.metrics.accepted == 1
+    assert env.metrics.rejected == 1
+
+
+def test_validation():
+    env = make_env()
+    with pytest.raises(ConfigurationError):
+        PriorityAdmissionControl(env.fleet, env.monitor, reserved_slots=-1)
+
+
+def test_differentiated_loss_under_contention():
+    """Under sustained overload, high-priority loss << low-priority loss."""
+    env, pac = make_priority_env(instances=4, capacity=2, reserved=3, service_time=1.0)
+    rng = np.random.default_rng(0)
+    engine = env.engine
+
+    counts = {"offered": 0}
+
+    def arrival():
+        klass = HIGH if rng.random() < 0.3 else LOW
+        pac.submit(engine.now, klass)
+        counts["offered"] += 1
+        # Offered load ~2x capacity (8 slots, service 1 s, 16 req/s).
+        engine.schedule(float(rng.exponential(1 / 16.0)), arrival)
+
+    engine.schedule(0.0, arrival)
+    engine.run(until=2000.0)
+
+    high = pac.per_class[HIGH]
+    low = pac.per_class[LOW]
+    assert high.total > 1000 and low.total > 1000
+    assert high.rejection_rate < 0.5 * low.rejection_rate
+    assert low.rejection_rate > 0.5  # overload really bites the low class

@@ -1,0 +1,69 @@
+"""Property-based tests of Algorithm 1 and the QoS contract."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PerformanceModeler, QoSTarget
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    lam=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    tm=st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+    current=st.integers(min_value=1, max_value=4000),
+    ts_mult=st.integers(min_value=1, max_value=10),
+    max_vms=st.integers(min_value=1, max_value=4000),
+)
+def test_algorithm1_always_terminates_in_bounds(lam, tm, current, ts_mult, max_vms):
+    qos = QoSTarget(max_response_time=tm * ts_mult * 1.001, min_utilization=0.8)
+    capacity = qos.queue_capacity(tm)
+    modeler = PerformanceModeler(qos=qos, capacity=capacity, max_vms=max_vms)
+    decision = modeler.decide(lam, tm, min(current, max_vms))
+    assert 1 <= decision.instances <= max_vms
+    assert decision.iterations <= 200
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    lam1=st.floats(min_value=1.0, max_value=5e3),
+    lam2=st.floats(min_value=1.0, max_value=5e3),
+)
+def test_algorithm1_monotone_in_rate(lam1, lam2):
+    qos = QoSTarget(max_response_time=0.25, min_utilization=0.8)
+    modeler = PerformanceModeler(qos=qos, capacity=2, max_vms=8000)
+    lo, hi = min(lam1, lam2), max(lam1, lam2)
+    d_lo = modeler.decide(lo, 0.105, 100)
+    d_hi = modeler.decide(hi, 0.105, 100)
+    # Allow a tolerance of one search step for start-point hysteresis.
+    assert d_hi.instances >= d_lo.instances - max(2, d_lo.instances // 16)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    lam=st.floats(min_value=10.0, max_value=5e3),
+    rho_max=st.floats(min_value=0.55, max_value=0.95),
+)
+def test_algorithm1_respects_rho_max(lam, rho_max):
+    qos = QoSTarget(max_response_time=0.25, min_utilization=rho_max * 0.93)
+    modeler = PerformanceModeler(qos=qos, capacity=2, max_vms=8000, rho_max=rho_max)
+    d = modeler.decide(lam, 0.105, 50)
+    if d.meets_qos:
+        rho = lam * 0.105 / d.instances
+        assert rho <= rho_max + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ts=st.floats(min_value=0.01, max_value=1e4),
+    tr_frac=st.floats(min_value=1e-3, max_value=1.0),
+)
+def test_eq1_capacity_bounds_deadline(ts, tr_frac):
+    tr = ts * tr_frac
+    qos = QoSTarget(max_response_time=ts)
+    k = qos.queue_capacity(tr)
+    # Eq. 1 guarantee: k service times never exceed Ts (floor property),
+    # and k+1 would exceed it.
+    assert k * tr <= ts * (1 + 1e-12)
+    assert (k + 1) * tr > ts * (1 - 1e-12)

@@ -1,0 +1,78 @@
+"""Property-based tests of the DES kernel and workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, RandomStreams
+from repro.workloads import PoissonWorkload, ScientificWorkload, WebWorkload
+
+
+@settings(max_examples=60, deadline=None)
+@given(times=st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=64))
+def test_engine_fires_any_schedule_in_order(times):
+    eng = Engine()
+    fired = []
+    for t in times:
+        eng.schedule_at(t, lambda t=t: fired.append(t))
+    eng.run()
+    assert fired == sorted(times)
+    assert eng.events_fired == len(times)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    name=st.text(min_size=1, max_size=24),
+)
+def test_streams_reproducible_for_any_name(seed, name):
+    a = RandomStreams(seed).get(name).random(4)
+    b = RandomStreams(seed).get(name).random(4)
+    assert np.array_equal(a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    t0=st.floats(min_value=0.0, max_value=6 * 86_400.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_web_windows_sorted_and_bounded(t0, seed):
+    w = WebWorkload()
+    rng = np.random.default_rng(seed)
+    t0 = (t0 // 60.0) * 60.0
+    a = w.sample_window(rng, t0)
+    if a.size:
+        assert np.all((a >= t0) & (a < t0 + w.window))
+        assert np.all(np.diff(a) >= 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    window_idx=st.integers(min_value=0, max_value=47),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_scientific_windows_sorted_and_bounded(window_idx, seed):
+    w = ScientificWorkload()
+    rng = np.random.default_rng(seed)
+    t0 = window_idx * w.window
+    a = w.sample_window(rng, t0)
+    if a.size:
+        assert np.all((a >= t0) & (a < t0 + w.window))
+        assert np.all(np.diff(a) >= 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rate=st.floats(min_value=0.0, max_value=100.0),
+    keep=st.floats(min_value=0.01, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_thinning_never_exceeds_full_rate_in_expectation(rate, keep, seed):
+    w = PoissonWorkload(rate=rate, window=50.0)
+    rng = np.random.default_rng(seed)
+    thin = np.mean([w.sample_window_thinned(rng, 0.0, keep).size for _ in range(20)])
+    # 6-sigma bound on the thinned Poisson count mean.
+    expected = rate * 50.0 * keep
+    assert thin <= expected + 6 * np.sqrt(max(expected, 1.0) / 20) + 1e-9

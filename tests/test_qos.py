@@ -1,0 +1,68 @@
+"""Unit tests of the QoS contract and Eq. 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import QoSTarget
+from repro.errors import ConfigurationError
+
+
+def test_paper_web_capacity():
+    qos = QoSTarget(max_response_time=0.250)
+    assert qos.queue_capacity(0.100) == 2
+
+
+def test_paper_scientific_capacity():
+    qos = QoSTarget(max_response_time=700.0)
+    assert qos.queue_capacity(300.0) == 2
+
+
+def test_capacity_floor_semantics():
+    qos = QoSTarget(max_response_time=1.0)
+    assert qos.queue_capacity(0.5) == 2
+    assert qos.queue_capacity(0.51) == 1
+    assert qos.queue_capacity(0.333) == 3
+
+
+def test_capacity_with_service_exceeding_ts():
+    qos = QoSTarget(max_response_time=1.0)
+    with pytest.raises(ConfigurationError):
+        qos.queue_capacity(1.5)
+
+
+def test_capacity_with_invalid_service_time():
+    qos = QoSTarget(max_response_time=1.0)
+    with pytest.raises(ConfigurationError):
+        qos.queue_capacity(0.0)
+
+
+def test_defaults_match_paper():
+    qos = QoSTarget(max_response_time=0.250)
+    assert qos.max_rejection_rate == 0.0
+    assert qos.min_utilization == 0.80
+
+
+def test_scaled_contract():
+    qos = QoSTarget(max_response_time=0.250, max_rejection_rate=0.01, min_utilization=0.8)
+    scaled = qos.scaled(200.0)
+    assert scaled.max_response_time == pytest.approx(50.0)
+    assert scaled.max_rejection_rate == 0.01
+    assert scaled.min_utilization == 0.8
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        QoSTarget(max_response_time=0.0)
+    with pytest.raises(ConfigurationError):
+        QoSTarget(max_response_time=1.0, max_rejection_rate=1.5)
+    with pytest.raises(ConfigurationError):
+        QoSTarget(max_response_time=1.0, min_utilization=1.0)
+    with pytest.raises(ConfigurationError):
+        QoSTarget(max_response_time=1.0).scaled(-1.0)
+
+
+def test_frozen():
+    qos = QoSTarget(max_response_time=1.0)
+    with pytest.raises(Exception):
+        qos.max_response_time = 2.0  # type: ignore[misc]

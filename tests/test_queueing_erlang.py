@@ -1,0 +1,68 @@
+"""Unit tests of the Erlang-B/C primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import QueueingModelError
+from repro.queueing import erlang_b, erlang_c
+
+
+def erlang_b_direct(c: int, a: float) -> float:
+    """Direct factorial formula (safe for small c)."""
+    num = a**c / math.factorial(c)
+    den = sum(a**j / math.factorial(j) for j in range(c + 1))
+    return num / den
+
+
+@pytest.mark.parametrize("c", [1, 2, 5, 10])
+@pytest.mark.parametrize("a", [0.1, 1.0, 3.0, 9.5])
+def test_recurrence_matches_direct_formula(c, a):
+    assert erlang_b(c, a) == pytest.approx(erlang_b_direct(c, a), rel=1e-12)
+
+
+def test_erlang_b_single_server():
+    # B(1, a) = a / (1 + a).
+    assert erlang_b(1, 1.0) == pytest.approx(0.5)
+    assert erlang_b(1, 3.0) == pytest.approx(0.75)
+
+
+def test_erlang_b_zero_load():
+    assert erlang_b(10, 0.0) == 0.0
+
+
+def test_erlang_b_large_server_count_stable():
+    # Must not overflow: 200 servers, 160 Erlang.
+    b = erlang_b(200, 160.0)
+    assert 0.0 < b < 0.05
+
+
+def test_erlang_c_single_server_equals_rho():
+    assert erlang_c(1, 0.5) == pytest.approx(0.5)
+
+
+def test_erlang_c_unstable_is_one():
+    assert erlang_c(4, 4.0) == 1.0
+    assert erlang_c(4, 10.0) == 1.0
+
+
+def test_erlang_c_exceeds_erlang_b():
+    # Queueing probability >= blocking probability of the loss system.
+    for c, a in ((2, 1.5), (5, 4.0), (10, 8.0)):
+        assert erlang_c(c, a) >= erlang_b(c, a)
+
+
+def test_erlang_c_monotone_in_load():
+    vals = [erlang_c(5, a) for a in (0.5, 1.0, 2.0, 3.0, 4.0, 4.9)]
+    assert vals == sorted(vals)
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(QueueingModelError):
+        erlang_b(0, 1.0)
+    with pytest.raises(QueueingModelError):
+        erlang_b(2, -1.0)
+    with pytest.raises(QueueingModelError):
+        erlang_c(2, math.inf)

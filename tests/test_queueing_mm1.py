@@ -1,0 +1,77 @@
+"""Unit tests of the M/M/1 model against textbook closed forms."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import QueueingModelError
+from repro.queueing import MM1Queue
+
+
+def test_textbook_example():
+    q = MM1Queue(lam=8.0, mu=10.0)
+    assert q.rho == pytest.approx(0.8)
+    assert q.mean_number_in_system == pytest.approx(4.0)
+    assert q.mean_response_time == pytest.approx(0.5)
+    assert q.mean_waiting_time == pytest.approx(0.4)
+    assert q.mean_queue_length == pytest.approx(3.2)
+    assert q.blocking_probability == 0.0
+
+
+def test_littles_law_consistency():
+    q = MM1Queue(lam=3.0, mu=7.0)
+    assert q.mean_number_in_system == pytest.approx(q.lam * q.mean_response_time)
+
+
+def test_state_probabilities_geometric_and_normalized():
+    q = MM1Queue(lam=5.0, mu=10.0)
+    total = sum(q.state_probability(n) for n in range(200))
+    assert total == pytest.approx(1.0, abs=1e-12)
+    assert q.state_probability(0) == pytest.approx(0.5)
+    assert q.state_probability(3) == pytest.approx(0.5 * 0.5**3)
+
+
+def test_unstable_queue_reports_infinity():
+    q = MM1Queue(lam=10.0, mu=10.0)
+    assert not q.stable
+    assert math.isinf(q.mean_number_in_system)
+    assert math.isinf(q.mean_response_time)
+
+
+def test_zero_arrivals():
+    q = MM1Queue(lam=0.0, mu=10.0)
+    assert q.mean_number_in_system == 0.0
+    assert q.state_probability(0) == 1.0
+    assert q.utilization == 0.0
+
+
+def test_waiting_time_quantile_median():
+    q = MM1Queue(lam=5.0, mu=10.0)
+    # Sojourn ~ Exp(mu - lam) = Exp(5): median = ln(2)/5.
+    assert q.waiting_time_quantile(0.5) == pytest.approx(math.log(2) / 5.0)
+    assert q.waiting_time_quantile(0.0) == 0.0
+
+
+def test_waiting_time_quantile_domain():
+    q = MM1Queue(lam=5.0, mu=10.0)
+    with pytest.raises(QueueingModelError):
+        q.waiting_time_quantile(1.0)
+    with pytest.raises(QueueingModelError):
+        q.waiting_time_quantile(-0.1)
+
+
+def test_invalid_rates_rejected():
+    with pytest.raises(QueueingModelError):
+        MM1Queue(lam=-1.0, mu=1.0)
+    with pytest.raises(QueueingModelError):
+        MM1Queue(lam=1.0, mu=0.0)
+    with pytest.raises(QueueingModelError):
+        MM1Queue(lam=math.nan, mu=1.0)
+
+
+def test_negative_state_index_rejected():
+    q = MM1Queue(lam=1.0, mu=2.0)
+    with pytest.raises(QueueingModelError):
+        q.state_probability(-1)

@@ -1,0 +1,68 @@
+"""Unit tests of the M/M/c model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import QueueingModelError
+from repro.queueing import MM1Queue, MMCQueue
+
+
+def test_single_server_degenerates_to_mm1():
+    mmc = MMCQueue(lam=8.0, mu=10.0, servers=1)
+    mm1 = MM1Queue(lam=8.0, mu=10.0)
+    assert mmc.mean_response_time == pytest.approx(mm1.mean_response_time)
+    assert mmc.mean_number_in_system == pytest.approx(mm1.mean_number_in_system)
+    assert mmc.probability_of_wait == pytest.approx(0.8)
+
+
+def test_pooling_beats_parallel_mm1():
+    # Pooled M/M/2 at the same per-server load waits less than M/M/1.
+    mm1 = MM1Queue(lam=8.0, mu=10.0)
+    mmc = MMCQueue(lam=16.0, mu=10.0, servers=2)
+    assert mmc.mean_waiting_time < mm1.mean_waiting_time
+
+
+def test_state_probabilities_sum_to_one():
+    q = MMCQueue(lam=14.0, mu=10.0, servers=2)
+    total = sum(q.state_probability(n) for n in range(400))
+    assert total == pytest.approx(1.0, abs=1e-9)
+
+
+def test_state_probabilities_match_balance_equations():
+    q = MMCQueue(lam=14.0, mu=10.0, servers=2)
+    # Birth-death balance: lam * P(n) = min(n+1, c) * mu * P(n+1).
+    for n in range(10):
+        lhs = q.lam * q.state_probability(n)
+        rhs = min(n + 1, q.servers) * q.mu * q.state_probability(n + 1)
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+def test_littles_law():
+    q = MMCQueue(lam=25.0, mu=10.0, servers=3)
+    assert q.mean_number_in_system == pytest.approx(q.lam * q.mean_response_time)
+
+
+def test_unstable_reports_infinity():
+    q = MMCQueue(lam=30.0, mu=10.0, servers=3)
+    assert not q.stable
+    assert math.isinf(q.mean_waiting_time)
+    assert math.isinf(q.mean_number_in_system)
+
+
+def test_utilization_is_per_server_load():
+    q = MMCQueue(lam=15.0, mu=10.0, servers=3)
+    assert q.utilization == pytest.approx(0.5)
+
+
+def test_zero_load():
+    q = MMCQueue(lam=0.0, mu=10.0, servers=4)
+    assert q.state_probability(0) == 1.0
+    assert q.mean_waiting_time == 0.0
+
+
+def test_invalid_servers_rejected():
+    with pytest.raises(QueueingModelError):
+        MMCQueue(lam=1.0, mu=1.0, servers=0)

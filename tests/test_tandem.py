@@ -1,0 +1,110 @@
+"""Tests of the composite-service (tandem) extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, QueueingModelError
+from repro.queueing import (
+    CompositeServiceModeler,
+    MM1Queue,
+    TandemNetwork,
+    TandemStage,
+)
+
+
+def test_single_unbounded_stage_matches_mm1():
+    net = TandemNetwork([TandemStage("only", service_time=0.1, instances=1)])
+    mm1 = MM1Queue(lam=5.0, mu=10.0)
+    assert net.end_to_end_response(5.0) == pytest.approx(mm1.mean_response_time, rel=1e-6)
+    assert net.end_to_end_loss(5.0) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_sojourns_add_across_stages():
+    stages = [
+        TandemStage("a", service_time=0.1, instances=1),
+        TandemStage("b", service_time=0.05, instances=1),
+    ]
+    net = TandemNetwork(stages)
+    expected = (
+        MM1Queue(lam=5.0, mu=10.0).mean_response_time
+        + MM1Queue(lam=5.0, mu=20.0).mean_response_time
+    )
+    assert net.end_to_end_response(5.0) == pytest.approx(expected, rel=1e-6)
+
+
+def test_bounded_stage_thins_downstream_flow():
+    stages = [
+        TandemStage("front", service_time=0.1, instances=1, capacity=2),
+        TandemStage("back", service_time=0.1, instances=1, capacity=2),
+    ]
+    net = TandemNetwork(stages)
+    perfs = net.evaluate(8.0)
+    assert perfs["back"].per_instance_lambda < 8.0  # thinned by front loss
+    loss = net.end_to_end_loss(8.0)
+    assert perfs["front"].blocking_probability < loss < 1.0
+
+
+def test_zero_rate():
+    net = TandemNetwork([TandemStage("a", service_time=1.0, instances=2, capacity=3)])
+    assert net.end_to_end_loss(0.0) == 0.0
+
+
+def test_stage_validation():
+    with pytest.raises(QueueingModelError):
+        TandemStage("bad", service_time=0.0, instances=1)
+    with pytest.raises(QueueingModelError):
+        TandemStage("bad", service_time=1.0, instances=0)
+    with pytest.raises(QueueingModelError):
+        TandemNetwork([])
+
+
+# ----------------------------------------------------------------------
+# composite modeler
+# ----------------------------------------------------------------------
+def composite():
+    return CompositeServiceModeler(
+        service_times={"web": 0.02, "app": 0.06, "db": 0.02},
+        max_response_time=0.250,
+    )
+
+
+def test_deadline_partition_proportional():
+    m = composite()
+    assert m.deadline_share["app"] == pytest.approx(0.250 * 0.6)
+    assert sum(m.deadline_share.values()) == pytest.approx(0.250)
+    # Equal Ts_i/Tr_i ratio → same k per tier.
+    assert len(set(m.capacities.values())) == 1
+    assert m.capacities["web"] == int(0.250 / 0.10)
+
+
+def test_tier_fleets_scale_with_service_demand():
+    m = composite()
+    fleets = m.decide(1000.0, current={})
+    # Heavier tier needs proportionally more instances.
+    assert fleets["app"] > fleets["web"]
+    ratio = fleets["app"] / fleets["web"]
+    assert 2.0 < ratio < 4.0  # service-time ratio is 3
+
+
+def test_each_tier_in_utilization_band():
+    m = composite()
+    fleets = m.decide(1000.0, current={})
+    for name, tr in m.service_times.items():
+        rho = 1000.0 * tr / fleets[name]
+        assert rho <= 0.86  # rho_max band (flow thinning only lowers it)
+
+
+def test_end_to_end_response_within_deadline():
+    m = composite()
+    fleets = m.decide(1000.0, current={})
+    assert m.predicted_end_to_end(1000.0, fleets) <= 0.250
+
+
+def test_composite_validation():
+    with pytest.raises(ConfigurationError):
+        CompositeServiceModeler(service_times={}, max_response_time=1.0)
+    with pytest.raises(ConfigurationError):
+        CompositeServiceModeler(
+            service_times={"a": 0.5, "b": 0.6}, max_response_time=1.0
+        )  # Ts below total demand

@@ -1,0 +1,118 @@
+"""Unit tests of VMs and physical hosts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import DEFAULT_VM_SPEC, Host, VirtualMachine, VMSpec, VMState
+from repro.errors import CapacityError
+
+
+def make_vm(vm_id=0, spec=DEFAULT_VM_SPEC, host_id=0, t=0.0):
+    return VirtualMachine(vm_id, spec, host_id, created_at=t)
+
+
+# ----------------------------------------------------------------------
+# VMSpec / VM lifecycle
+# ----------------------------------------------------------------------
+def test_default_spec_matches_paper():
+    assert DEFAULT_VM_SPEC.cores == 1
+    assert DEFAULT_VM_SPEC.ram_mb == 2048
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        VMSpec(cores=0)
+    with pytest.raises(ValueError):
+        VMSpec(ram_mb=0)
+
+
+def test_vm_lifecycle():
+    vm = make_vm(t=10.0)
+    assert vm.state is VMState.PROVISIONING
+    vm.boot_completed()
+    assert vm.state is VMState.RUNNING
+    vm.destroy(when=110.0)
+    assert vm.state is VMState.DESTROYED
+    assert vm.destroyed_at == 110.0
+
+
+def test_vm_lifetime_accounting():
+    vm = make_vm(t=100.0)
+    assert vm.lifetime(now=160.0) == 60.0
+    vm.destroy(when=150.0)
+    assert vm.lifetime(now=1e9) == 50.0
+
+
+def test_vm_double_destroy_rejected():
+    vm = make_vm()
+    vm.destroy(1.0)
+    with pytest.raises(ValueError):
+        vm.destroy(2.0)
+
+
+def test_destroyed_vm_cannot_boot():
+    vm = make_vm()
+    vm.destroy(1.0)
+    with pytest.raises(ValueError):
+        vm.boot_completed()
+
+
+# ----------------------------------------------------------------------
+# Host
+# ----------------------------------------------------------------------
+def test_host_paper_geometry_fits_eight_vms():
+    host = Host(0)  # defaults: 8 cores, 16 GB
+    vms = []
+    for i in range(8):
+        vm = make_vm(vm_id=i)
+        assert host.can_fit(vm.spec)
+        host.attach(vm)
+        vms.append(vm)
+    assert host.vm_count == 8
+    assert host.free_cores == 0
+    assert not host.can_fit(DEFAULT_VM_SPEC)
+
+
+def test_host_attach_beyond_capacity_raises():
+    host = Host(0, cores=1, ram_mb=2048)
+    host.attach(make_vm(0))
+    with pytest.raises(CapacityError):
+        host.attach(make_vm(1))
+
+
+def test_host_detach_releases_resources():
+    host = Host(0)
+    vm = make_vm()
+    host.attach(vm)
+    assert host.free_cores == 7
+    host.detach(vm)
+    assert host.free_cores == 8
+    assert host.free_ram_mb == 16_384
+
+
+def test_host_detach_unknown_vm_raises():
+    host = Host(0)
+    with pytest.raises(CapacityError):
+        host.detach(make_vm())
+
+
+def test_host_double_attach_raises():
+    host = Host(0)
+    vm = make_vm()
+    host.attach(vm)
+    with pytest.raises(CapacityError):
+        host.attach(vm)
+
+
+def test_host_utilization():
+    host = Host(0)
+    assert host.utilization() == 0.0
+    host.attach(make_vm(0))
+    host.attach(make_vm(1))
+    assert host.utilization() == pytest.approx(0.25)
+
+
+def test_host_invalid_geometry():
+    with pytest.raises(ValueError):
+        Host(0, cores=0)

@@ -1,0 +1,87 @@
+"""Tests of the behaviour-preserving rate/service rescaling.
+
+The scaling substitution (DESIGN.md §4) must keep the per-instance
+offered load, Eq.-1 capacity, and the modeler's fleet-size decisions
+*identical* while dividing the event count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PerformanceModeler, QoSTarget
+from repro.errors import WorkloadError
+from repro.workloads import ScientificWorkload, WebWorkload
+
+
+def test_scaled_rate_divided():
+    w = WebWorkload()
+    s = w.scaled(100.0)
+    assert float(s.mean_rate(43_200.0)) == pytest.approx(
+        float(w.mean_rate(43_200.0)) / 100.0
+    )
+
+
+def test_scaled_service_multiplied():
+    w = WebWorkload()
+    s = w.scaled(100.0)
+    assert s.base_service_time == pytest.approx(100.0 * w.base_service_time)
+    assert s.mean_service_time == pytest.approx(100.0 * w.mean_service_time)
+
+
+def test_offered_load_invariant():
+    w = WebWorkload()
+    s = w.scaled(250.0)
+    t = 43_200.0
+    load_full = float(w.mean_rate(t)) * w.mean_service_time
+    load_scaled = float(s.mean_rate(t)) * s.mean_service_time
+    assert load_scaled == pytest.approx(load_full)
+
+
+def test_eq1_capacity_invariant():
+    qos = QoSTarget(max_response_time=0.250)
+    w = WebWorkload()
+    s = w.scaled(200.0)
+    k_full = qos.queue_capacity(w.base_service_time)
+    k_scaled = qos.scaled(200.0).queue_capacity(s.base_service_time)
+    assert k_full == k_scaled == 2
+
+
+def test_modeler_decision_invariant_under_scaling():
+    qos = QoSTarget(max_response_time=0.250)
+    modeler_full = PerformanceModeler(qos=qos, capacity=2, max_vms=1000)
+    modeler_scaled = PerformanceModeler(qos=qos.scaled(200.0), capacity=2, max_vms=1000)
+    for lam in (400.0, 800.0, 1200.0):
+        d_full = modeler_full.decide(lam, 0.105, 100)
+        d_scaled = modeler_scaled.decide(lam / 200.0, 0.105 * 200.0, 100)
+        assert d_full.instances == d_scaled.instances
+
+
+def test_web_scaled_window_counts():
+    w = WebWorkload(noise_std=0.0)
+    s = w.scaled(100.0)
+    rng = np.random.default_rng(0)
+    counts = [s.sample_window(rng, 43_200.0).size for _ in range(32)]
+    assert np.mean(counts) == pytest.approx(600.0, rel=0.05)
+
+
+def test_scientific_scaled_preserves_batches():
+    sci = ScientificWorkload()
+    s = sci.scaled(2.0)
+    rng = np.random.default_rng(1)
+    counts = [s.sample_window(rng, 10 * 3600.0).size for _ in range(16)]
+    full = [sci.sample_window(rng, 10 * 3600.0).size for _ in range(16)]
+    assert np.mean(counts) == pytest.approx(np.mean(full) / 2.0, rel=0.25)
+
+
+def test_scaled_name_and_repr():
+    s = WebWorkload().scaled(200.0)
+    assert "web" in s.name and "200" in s.name
+
+
+def test_invalid_factor_rejected():
+    with pytest.raises(WorkloadError):
+        WebWorkload().scaled(0.0)
+    with pytest.raises(WorkloadError):
+        WebWorkload().scaled(-5.0)

@@ -1,0 +1,110 @@
+"""Unit tests of the scientific (BoT) workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.calendar import SECONDS_PER_DAY
+from repro.workloads import ScientificWorkload
+
+
+@pytest.fixture
+def sci() -> ScientificWorkload:
+    return ScientificWorkload()
+
+
+def test_paper_modes_reproduced(sci):
+    # §V-B2 quotes these three modes explicitly.
+    assert sci.interarrival_mode == pytest.approx(7.379, abs=5e-4)
+    assert sci.size_mode == pytest.approx(1.309, abs=5e-4)
+    assert sci.offpeak_mode == pytest.approx(15.298, abs=5e-4)
+
+
+def test_peak_window_classification(sci):
+    assert not bool(sci.in_peak(7.99 * 3600))
+    assert bool(sci.in_peak(8.0 * 3600))
+    assert bool(sci.in_peak(16.99 * 3600))
+    assert not bool(sci.in_peak(17.0 * 3600))
+    # Wraps across days.
+    assert bool(sci.in_peak(SECONDS_PER_DAY + 10 * 3600))
+
+
+def test_mean_tasks_per_job_discretized(sci):
+    # E[max(1, floor(W(1.76, 2.11)))] ≈ 1.618; verify against Monte Carlo.
+    rng = np.random.default_rng(0)
+    draws = np.maximum(1, np.floor(rng.weibull(1.76, 200_000) * 2.11))
+    assert sci.mean_tasks_per_job == pytest.approx(draws.mean(), rel=0.01)
+
+
+def test_mean_rate_levels(sci):
+    peak = float(sci.mean_rate(12 * 3600.0))
+    off = float(sci.mean_rate(2 * 3600.0))
+    assert peak > 5 * off
+    # Peak ≈ tasks/job / mean interarrival ≈ 1.618/7.155 ≈ 0.226.
+    assert peak == pytest.approx(0.226, rel=0.02)
+
+
+def test_peak_window_sample_statistics(sci):
+    rng = np.random.default_rng(1)
+    counts = [sci.sample_window(rng, 10 * 3600.0).size for _ in range(32)]
+    expected = float(sci.mean_rate(10 * 3600.0)) * sci.window
+    assert np.mean(counts) == pytest.approx(expected, rel=0.1)
+
+
+def test_offpeak_window_sample_statistics(sci):
+    rng = np.random.default_rng(2)
+    counts = [sci.sample_window(rng, 2 * 3600.0).size for _ in range(64)]
+    expected = float(sci.mean_rate(2 * 3600.0)) * sci.window
+    assert np.mean(counts) == pytest.approx(expected, rel=0.15)
+
+
+def test_arrivals_sorted_and_inside_window(sci):
+    rng = np.random.default_rng(3)
+    for t0 in (0.0, 9 * 3600.0, 20 * 3600.0):
+        a = sci.sample_window(rng, t0)
+        if a.size:
+            assert np.all((a >= t0) & (a < t0 + sci.window))
+            assert np.all(np.diff(a) >= 0.0)
+
+
+def test_tasks_arrive_in_batches(sci):
+    # BoT structure: duplicated timestamps exist (multi-task jobs).
+    rng = np.random.default_rng(4)
+    a = sci.sample_window(rng, 10 * 3600.0)
+    unique = np.unique(a)
+    assert unique.size < a.size
+
+
+def test_daily_volume_matches_paper(sci):
+    # Paper: "each simulation of the scenario generated 8286 requests in
+    # one-day simulation time".  Accept a ±15 % band.
+    rng = np.random.default_rng(5)
+    total = 0
+    t = 0.0
+    while t < SECONDS_PER_DAY:
+        total += sci.sample_window(rng, t).size
+        t += sci.window
+    assert 7000 < total < 9600
+
+
+def test_thinned_window_scales(sci):
+    rng = np.random.default_rng(6)
+    full = np.mean([sci.sample_window(rng, 10 * 3600.0).size for _ in range(16)])
+    thin = np.mean(
+        [sci.sample_window_thinned(rng, 10 * 3600.0, 0.25).size for _ in range(16)]
+    )
+    assert thin == pytest.approx(full * 0.25, rel=0.2)
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(WorkloadError):
+        ScientificWorkload(peak_start_hour=18.0, peak_end_hour=8.0)
+    with pytest.raises(WorkloadError):
+        ScientificWorkload(interarrival_shape=0.0)
+
+
+def test_expected_requests_integral(sci):
+    total = sci.expected_requests(0.0, SECONDS_PER_DAY, resolution=300.0)
+    assert 7000 < total < 9600

@@ -1,0 +1,145 @@
+"""Unit tests of the synthetic workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import MMPPWorkload, PiecewiseRateWorkload, PoissonWorkload
+
+
+# ----------------------------------------------------------------------
+# Poisson
+# ----------------------------------------------------------------------
+def test_poisson_rate_constant():
+    w = PoissonWorkload(rate=5.0)
+    assert float(w.mean_rate(0.0)) == 5.0
+    assert float(w.mean_rate(1e6)) == 5.0
+
+
+def test_poisson_window_counts():
+    w = PoissonWorkload(rate=5.0, window=100.0)
+    rng = np.random.default_rng(0)
+    counts = [w.sample_window(rng, 0.0).size for _ in range(200)]
+    assert np.mean(counts) == pytest.approx(500.0, rel=0.03)
+    # Poisson: variance ≈ mean.
+    assert np.var(counts) == pytest.approx(500.0, rel=0.3)
+
+
+def test_poisson_exponential_service():
+    w = PoissonWorkload(rate=1.0, base_service_time=2.0)
+    rng = np.random.default_rng(1)
+    sampler = w.service_sampler(rng)
+    draws = np.array([sampler.draw() for _ in range(20_000)])
+    assert draws.mean() == pytest.approx(2.0, rel=0.03)
+    assert draws.std() == pytest.approx(2.0, rel=0.05)  # exponential: std = mean
+    assert sampler.mean == pytest.approx(2.0)
+
+
+def test_poisson_uniform_service_option():
+    w = PoissonWorkload(rate=1.0, base_service_time=2.0, exponential_service=False)
+    rng = np.random.default_rng(2)
+    sampler = w.service_sampler(rng)
+    draws = np.array([sampler.draw() for _ in range(1000)])
+    assert np.all(draws == 2.0)  # jitter 0 for synthetic base class path
+
+
+def test_poisson_zero_rate():
+    w = PoissonWorkload(rate=0.0)
+    rng = np.random.default_rng(3)
+    assert w.sample_window(rng, 0.0).size == 0
+
+
+def test_poisson_invalid_rate():
+    with pytest.raises(WorkloadError):
+        PoissonWorkload(rate=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Piecewise
+# ----------------------------------------------------------------------
+def test_piecewise_rate_lookup():
+    w = PiecewiseRateWorkload([(0.0, 1.0), (100.0, 5.0), (200.0, 2.0)])
+    assert float(w.mean_rate(50.0)) == 1.0
+    assert float(w.mean_rate(100.0)) == 5.0
+    assert float(w.mean_rate(150.0)) == 5.0
+    assert float(w.mean_rate(1e9)) == 2.0
+
+
+def test_piecewise_window_straddling_boundary():
+    w = PiecewiseRateWorkload([(0.0, 0.0), (30.0, 100.0)], window=60.0)
+    rng = np.random.default_rng(4)
+    arrivals = w.sample_window(rng, 0.0)
+    assert np.all(arrivals >= 30.0)  # nothing in the zero-rate half
+    assert arrivals.size == pytest.approx(3000, rel=0.1)
+
+
+def test_piecewise_validation():
+    with pytest.raises(WorkloadError):
+        PiecewiseRateWorkload([])
+    with pytest.raises(WorkloadError):
+        PiecewiseRateWorkload([(10.0, 1.0)])  # must start at 0
+    with pytest.raises(WorkloadError):
+        PiecewiseRateWorkload([(0.0, 1.0), (0.0, 2.0)])  # not increasing
+    with pytest.raises(WorkloadError):
+        PiecewiseRateWorkload([(0.0, -1.0)])
+
+
+# ----------------------------------------------------------------------
+# MMPP
+# ----------------------------------------------------------------------
+def test_mmpp_stationary_quantities():
+    w = MMPPWorkload(
+        low_rate=1.0, high_rate=9.0, mean_low_sojourn=30.0, mean_high_sojourn=10.0
+    )
+    assert w.stationary_high_fraction == pytest.approx(0.25)
+    assert w.stationary_mean_rate == pytest.approx(0.25 * 9.0 + 0.75 * 1.0)
+    # The realized phase trajectory's time average converges to it.
+    grid = np.linspace(0.0, 200_000.0, 200_001)
+    assert float(np.mean(w.mean_rate(grid))) == pytest.approx(
+        w.stationary_mean_rate, rel=0.15
+    )
+
+
+def test_mmpp_phase_trajectory_is_deterministic_per_seed():
+    a = MMPPWorkload(1.0, 9.0, 30.0, 10.0, phase_seed=7)
+    b = MMPPWorkload(1.0, 9.0, 30.0, 10.0, phase_seed=7)
+    c = MMPPWorkload(1.0, 9.0, 30.0, 10.0, phase_seed=8)
+    grid = np.linspace(0.0, 5000.0, 501)
+    assert np.array_equal(a.mean_rate(grid), b.mean_rate(grid))
+    assert not np.array_equal(a.mean_rate(grid), c.mean_rate(grid))
+
+
+def test_mmpp_window_counts_match_realized_phase():
+    w = MMPPWorkload(
+        low_rate=1.0, high_rate=9.0, mean_low_sojourn=500.0, mean_high_sojourn=500.0,
+        window=200.0, phase_seed=3,
+    )
+    rng = np.random.default_rng(5)
+    for i in range(20):
+        t0 = i * w.window
+        expected = w.expected_requests(t0, t0 + w.window, resolution=1.0)
+        counts = np.mean([w.sample_window(np.random.default_rng(100 + j), t0).size for j in range(30)])
+        assert counts == pytest.approx(expected, rel=0.25, abs=15.0)
+
+
+def test_mmpp_bursts_span_windows():
+    # Long sojourns must persist across consecutive windows (the phase
+    # is a trajectory, not redrawn per window).
+    w = MMPPWorkload(
+        low_rate=0.5, high_rate=9.5, mean_low_sojourn=5000.0, mean_high_sojourn=5000.0,
+        window=100.0, phase_seed=1,
+    )
+    grid = np.arange(0.0, 20_000.0, 100.0)
+    rates = np.asarray(w.mean_rate(grid))
+    # Count phase flips: far fewer than windows.
+    flips = int(np.sum(rates[1:] != rates[:-1]))
+    assert flips < len(grid) / 10
+
+
+def test_mmpp_validation():
+    with pytest.raises(WorkloadError):
+        MMPPWorkload(low_rate=1.0, high_rate=2.0, mean_low_sojourn=0.0, mean_high_sojourn=1.0)
+    with pytest.raises(WorkloadError):
+        MMPPWorkload(low_rate=-1.0, high_rate=2.0, mean_low_sojourn=1.0, mean_high_sojourn=1.0)

@@ -1,0 +1,67 @@
+"""Unit tests of trace replay and trace I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import TraceWorkload, load_trace, save_trace
+
+
+def test_replay_window_selection():
+    w = TraceWorkload([1.0, 5.0, 59.0, 60.0, 61.0], window=60.0)
+    rng = np.random.default_rng(0)
+    first = w.sample_window(rng, 0.0)
+    second = w.sample_window(rng, 60.0)
+    assert list(first) == [1.0, 5.0, 59.0]
+    assert list(second) == [60.0, 61.0]
+
+
+def test_replay_is_deterministic():
+    w = TraceWorkload([1.0, 2.0, 3.0])
+    rng = np.random.default_rng(0)
+    a = w.sample_window(rng, 0.0)
+    b = w.sample_window(rng, 0.0)
+    assert np.array_equal(a, b)
+
+
+def test_empirical_rate():
+    # 120 arrivals in [0, 60) → 2/s in the first bin, 0 after.
+    times = np.linspace(0.0, 59.999, 120)
+    w = TraceWorkload(times, rate_bin=60.0)
+    assert float(w.mean_rate(30.0)) == pytest.approx(2.0)
+    assert float(w.mean_rate(90.0)) == 0.0
+
+
+def test_horizon():
+    assert TraceWorkload([5.0, 9.0]).horizon == 9.0
+    assert TraceWorkload([]).horizon == 0.0
+
+
+def test_non_monotone_trace_rejected():
+    with pytest.raises(WorkloadError):
+        TraceWorkload([2.0, 1.0])
+    with pytest.raises(WorkloadError):
+        TraceWorkload([-1.0, 1.0])
+
+
+def test_save_load_roundtrip(tmp_path):
+    times = [0.5, 1.25, 3.75, 100.0]
+    path = tmp_path / "trace.csv"
+    save_trace(path, times)
+    loaded = load_trace(path, base_service_time=2.0)
+    assert np.allclose(loaded.times, times)
+    assert loaded.base_service_time == 2.0
+
+
+def test_load_rejects_bad_header(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("not_a_trace\n1.0\n")
+    with pytest.raises(WorkloadError):
+        load_trace(path)
+
+
+def test_save_rejects_non_finite(tmp_path):
+    with pytest.raises(WorkloadError):
+        save_trace(tmp_path / "x.csv", [1.0, float("inf")])
