@@ -36,6 +36,7 @@ from .core import (
     WorkloadAnalyzer,
 )
 from .experiments import (
+    PolicySpec,
     RunResult,
     ScenarioConfig,
     run_policy,
@@ -87,5 +88,6 @@ __all__ = [
     "scientific_scenario",
     "run_policy",
     "run_replications",
+    "PolicySpec",
     "RunResult",
 ]

@@ -3,16 +3,23 @@
 The paper's simulation "contains one broker generating requests
 representing several users" (§V-A).  :class:`WorkloadSource` is that
 broker: it walks the simulation horizon one workload window at a time,
-asks the workload model for the window's arrival timestamps, and
-schedules an engine event per arrival.  Windowed generation keeps the
-future-event list small (one window of arrivals plus in-flight
-completions) even for the multi-million-request web scenario.
+asks the workload model for the window's arrival timestamps, and feeds
+them to admission control.  Windowed generation keeps the future-event
+list small even for the multi-million-request web scenario.
+
+Arrival dispatch is *batched*: a window's timestamps are sampled as one
+numpy block, horizon-clipped vectorized, and walked by a single rolling
+cursor event instead of one ``schedule()`` per request.  At the web
+peak a 60-s window holds tens of thousands of arrivals; the cursor
+keeps all but the next one out of the heap, so heap pushes operate on a
+list of in-flight completions (hundreds) rather than a full window —
+an O(log n) win per event on exactly the hottest path.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable
+from typing import List
 
 import numpy as np
 
@@ -23,6 +30,58 @@ from ..workloads.base import Workload
 from .admission import AdmissionControl
 
 __all__ = ["WorkloadSource"]
+
+
+class _ArrivalCursor:
+    """Rolling dispatcher over one window's sorted arrival batch.
+
+    One reusable callable walks the batch: each firing submits the
+    arrival at the current index and schedules itself at the next
+    timestamp.  Only a single heap entry exists per window at any time,
+    and no per-arrival closure is allocated.
+    """
+
+    __slots__ = ("_engine", "_admission", "_times", "_idx", "_pending")
+
+    def __init__(self, engine: Engine, admission: AdmissionControl) -> None:
+        self._engine = engine
+        self._admission = admission
+        self._times: List[float] = []
+        self._idx = 0
+        self._pending = None
+
+    @property
+    def remaining(self) -> int:
+        """Arrivals of the current batch not yet dispatched."""
+        return len(self._times) - self._idx
+
+    def load(self, times: List[float]) -> None:
+        """Start dispatching a new batch of sorted timestamps.
+
+        A window's batch always drains before the next window is
+        generated (arrivals live in ``[t0, t0 + window)`` and the next
+        generation fires at ``t0 + window``); any leftovers — a
+        misbehaving workload model — are merged rather than dropped.
+        """
+        if self._idx < len(self._times):
+            times = sorted(self._times[self._idx :] + times)
+            if self._pending is not None:
+                self._engine.discard(self._pending)
+        self._times = times
+        self._idx = 0
+        self._pending = None
+        if times:
+            self._pending = self._engine.schedule_at(times[0], self)
+
+    def __call__(self) -> None:
+        engine = self._engine
+        self._admission.submit(engine.now)
+        idx = self._idx = self._idx + 1
+        times = self._times
+        if idx < len(times):
+            self._pending = engine.schedule_at(times[idx], self)
+        else:
+            self._pending = None
 
 
 class WorkloadSource:
@@ -45,8 +104,8 @@ class WorkloadSource:
     Notes
     -----
     Window generation runs at :data:`~repro.sim.events.PRIORITY_HIGH`
-    so that a window's arrivals are in the event list before any of
-    them (or any same-instant completion) fires.
+    so that a window's first arrival is in the event list before any
+    same-instant completion fires.
     """
 
     def __init__(
@@ -63,6 +122,7 @@ class WorkloadSource:
         self._workload = workload
         self._rng = rng
         self._admission = admission
+        self._cursor = _ArrivalCursor(engine, admission)
         self.horizon = float(horizon)
         self.generated = 0
 
@@ -74,17 +134,12 @@ class WorkloadSource:
 
     def _generate_window(self, t0: float) -> None:
         arrivals = self._workload.sample_window(self._rng, t0)
-        engine = self._engine
-        arrive = self._arrive
         horizon = self.horizon
-        for t in arrivals:
-            if t >= horizon:
-                break
-            engine.schedule_at(float(t), arrive)
-            self.generated += 1
+        if arrivals.size and arrivals[-1] >= horizon:
+            arrivals = arrivals[arrivals < horizon]
+        if arrivals.size:
+            self.generated += int(arrivals.size)
+            self._cursor.load(arrivals.tolist())
         t_next = t0 + self._workload.window
         if t_next < horizon:
-            engine.schedule_at(t_next, lambda: self._generate_window(t_next), PRIORITY_HIGH)
-
-    def _arrive(self) -> None:
-        self._admission.submit(self._engine.now)
+            self._engine.schedule_at(t_next, lambda: self._generate_window(t_next), PRIORITY_HIGH)

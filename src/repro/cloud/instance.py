@@ -166,7 +166,7 @@ class AppInstance:
         """
         lost = self.occupancy
         if self._pending is not None:
-            self._engine.cancel(self._pending)
+            self._engine.discard(self._pending)
             self._pending = None
         self._in_service = False
         self._queue.clear()

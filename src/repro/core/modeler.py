@@ -37,8 +37,9 @@ at 1 — the carried load of a lightly-variable system.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..queueing.mm1k import MM1KQueue, mm1k_blocking
@@ -46,6 +47,13 @@ from ..queueing.network import NetworkPerformance, ProvisioningNetwork
 from .qos import QoSTarget
 
 __all__ = ["ProvisioningDecision", "PerformanceModeler"]
+
+
+def _round_sig(x: float, sig: int) -> float:
+    """Round ``x`` to ``sig`` significant digits (scale-free grid)."""
+    if x == 0.0:
+        return 0.0
+    return round(x, sig - 1 - int(math.floor(math.log10(abs(x)))))
 
 
 @dataclass(frozen=True)
@@ -104,6 +112,25 @@ class PerformanceModeler:
         to stay within ``Ts``.  A §VII-style richer QoS target; needs
         an instance model exposing ``response_time_quantile`` (the
         default M/M/1/K does).
+    decision_cache_size:
+        Capacity of the quantized LRU decision cache (0 disables it).
+        Analyzer ticks under steady load re-pose the same
+        ``(λ, T_m, m)`` point every interval; caching skips the whole
+        grow/shrink search on those hits.
+    cache_significant_digits:
+        ``λ`` and ``T_m`` are rounded to this many significant digits
+        to form the cache key, so near-identical monitored inputs
+        (e.g. an EWMA ``T_m`` wobbling in its last digits) collapse
+        onto one cache line.  The grid is scale-free; 3 digits keeps
+        key collisions well inside the search's own ±1-instance noise.
+
+    Notes
+    -----
+    The cache is invalidated automatically when :attr:`qos` is
+    reassigned.  Mutating other decision inputs in place
+    (``rho_max``, ``rejection_tolerance``, ``capacity`` …) requires an
+    explicit :meth:`clear_cache`.  Hit/miss counters are exposed via
+    :attr:`cache_hits` / :attr:`cache_misses` / :meth:`cache_info`.
     """
 
     def __init__(
@@ -117,7 +144,24 @@ class PerformanceModeler:
         instance_model: Callable[[float, float, int], object] = MM1KQueue,
         dispatch_time: float = 0.0,
         response_percentile: Optional[float] = None,
+        decision_cache_size: int = 256,
+        cache_significant_digits: int = 3,
     ) -> None:
+        if decision_cache_size < 0:
+            raise ConfigurationError(
+                f"decision cache size must be >= 0, got {decision_cache_size}"
+            )
+        if cache_significant_digits < 1:
+            raise ConfigurationError(
+                f"cache significant digits must be >= 1, got {cache_significant_digits}"
+            )
+        self._cache: "OrderedDict[Tuple[float, float, int], ProvisioningDecision]" = OrderedDict()
+        self._cache_size = int(decision_cache_size)
+        self._cache_sig = int(cache_significant_digits)
+        #: Decision-cache hit counter (observability).
+        self.cache_hits = 0
+        #: Decision-cache miss counter (observability).
+        self.cache_misses = 0
         if capacity < 1:
             raise ConfigurationError(f"capacity k must be >= 1, got {capacity}")
         if min_vms < 1 or max_vms < min_vms:
@@ -145,6 +189,38 @@ class PerformanceModeler:
         self.response_percentile = response_percentile
         self._instance_model = instance_model
         self._dispatch_time = float(dispatch_time)
+
+    # ------------------------------------------------------------------
+    # decision cache
+    # ------------------------------------------------------------------
+    @property
+    def qos(self) -> QoSTarget:
+        """The QoS contract; reassigning it invalidates the cache."""
+        return self._qos
+
+    @qos.setter
+    def qos(self, value: QoSTarget) -> None:
+        self._qos = value
+        self.clear_cache()
+
+    def clear_cache(self) -> None:
+        """Drop all cached decisions (counters are preserved)."""
+        self._cache.clear()
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size snapshot of the decision cache."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": len(self._cache),
+            "maxsize": self._cache_size,
+        }
+
+    def _cache_key(
+        self, arrival_rate: float, service_time: float, m: int
+    ) -> Tuple[float, float, int]:
+        sig = self._cache_sig
+        return (_round_sig(arrival_rate, sig), _round_sig(service_time, sig), m)
 
     # ------------------------------------------------------------------
     def _network(self, service_time: float) -> ProvisioningNetwork:
@@ -201,6 +277,12 @@ class PerformanceModeler:
             ``T_m`` — the monitored average request execution time.
         current_instances:
             The fleet size the search starts from (Algorithm 1 line 1).
+
+        Notes
+        -----
+        Results are served from the quantized LRU cache when an
+        equivalent ``(λ, T_m, m)`` point was decided recently; see the
+        class docstring for the quantization and invalidation rules.
         """
         if arrival_rate < 0.0 or not math.isfinite(arrival_rate):
             raise ConfigurationError(
@@ -210,6 +292,30 @@ class PerformanceModeler:
             raise ConfigurationError(
                 f"service time must be finite and > 0, got {service_time!r}"
             )
+        if self._cache_size == 0:
+            return self._decide_uncached(arrival_rate, service_time, current_instances)
+        start = min(max(int(current_instances), self.min_vms), self.max_vms)
+        key = self._cache_key(arrival_rate, service_time, start)
+        cache = self._cache
+        hit = cache.get(key)
+        if hit is not None:
+            cache.move_to_end(key)
+            self.cache_hits += 1
+            return hit
+        decision = self._decide_uncached(arrival_rate, service_time, current_instances)
+        self.cache_misses += 1
+        cache[key] = decision
+        if len(cache) > self._cache_size:
+            cache.popitem(last=False)
+        return decision
+
+    def _decide_uncached(
+        self,
+        arrival_rate: float,
+        service_time: float,
+        current_instances: int,
+    ) -> ProvisioningDecision:
+        """Algorithm 1 proper (no cache in front); inputs pre-validated."""
         net = self._network(service_time)
         if arrival_rate == 0.0:
             # No expected traffic: the floor fleet.  (The paper's search

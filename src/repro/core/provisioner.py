@@ -91,6 +91,11 @@ class ApplicationProvisioner:
         #: Actuation log in time order.
         self.actions: List[ScalingAction] = []
 
+    @property
+    def modeler(self) -> PerformanceModeler:
+        """The Algorithm-1 modeler (exposes decision-cache counters)."""
+        return self._modeler
+
     def start(self) -> None:
         """Deploy the initial fleet (call before the run starts).
 

@@ -3,7 +3,9 @@
 * :func:`web_scenario` / :func:`scientific_scenario` — the paper's two
   evaluation setups (§V-B), optionally rate-rescaled.
 * :func:`run_policy` / :func:`run_replications` — one DES replication
-  of (scenario, policy) → :class:`RunResult`.
+  of (scenario, policy) → :class:`RunResult`; ``workers=N`` dispatches
+  replications to a process pool (:mod:`repro.experiments.parallel`).
+* :class:`PolicySpec` — picklable policy factory for the pool path.
 * :mod:`repro.experiments.figures` — one function per paper artifact.
 * ``repro-experiments`` CLI (:mod:`repro.experiments.cli`).
 """
@@ -23,6 +25,7 @@ from .figures import (
     table2_data,
     workload_analysis_data,
 )
+from .parallel import PolicySpec, default_workers, run_replications_parallel
 from .persist import load_results, result_from_dict, result_to_dict, save_results
 from .runner import RunResult, build_context, run_policy, run_replications
 from .scenario import ScenarioConfig, scientific_scenario, web_scenario
@@ -35,6 +38,9 @@ __all__ = [
     "build_context",
     "run_policy",
     "run_replications",
+    "PolicySpec",
+    "default_workers",
+    "run_replications_parallel",
     "FigureData",
     "table2_data",
     "fig3_data",

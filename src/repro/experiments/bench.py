@@ -1,0 +1,171 @@
+"""In-process micro-benchmarks of the simulation substrate.
+
+Backs the ``repro-experiments bench`` CLI subcommand and the
+``benchmarks/bench_parallel_runner.py`` suite with plain-`perf_counter`
+measurements that need no external harness: engine event throughput,
+Algorithm-1 cold vs cached decision latency, window sampling, and the
+sequential-vs-parallel replication runner.  Every function returns a
+JSON-safe dict so results can be diffed across commits
+(``BENCH_PR1.json`` records the first such trajectory).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Dict, Optional, Sequence
+
+from ..core.modeler import PerformanceModeler
+from ..core.policies import AdaptivePolicy
+from ..core.qos import QoSTarget
+from ..sim.engine import Engine
+from ..sim.rng import RandomStreams
+from ..workloads.web import WebWorkload
+from .parallel import PolicySpec, run_replications_parallel
+from .runner import run_replications
+from .scenario import web_scenario
+
+__all__ = [
+    "engine_throughput",
+    "decision_latency",
+    "window_sampling",
+    "parallel_runner",
+    "kernel_bench",
+]
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock of ``repeats`` runs of ``fn`` (seconds)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def engine_throughput(events: int = 50_000, repeats: int = 3) -> Dict[str, Any]:
+    """Schedule-and-fire ``events`` chained engine events."""
+
+    def run_chain() -> None:
+        eng = Engine()
+        remaining = [events]
+
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                eng.schedule(1.0, tick)
+
+        eng.schedule(1.0, tick)
+        eng.run()
+        assert eng.events_fired == events
+
+    best = _best_of(run_chain, repeats)
+    return {
+        "events": events,
+        "best_seconds": best,
+        "events_per_second": events / best if best > 0 else float("inf"),
+    }
+
+
+def decision_latency(iterations: int = 200, repeats: int = 3) -> Dict[str, Any]:
+    """Algorithm-1 latency at the web peak: cold search vs cache hit."""
+    kwargs = dict(
+        qos=QoSTarget(max_response_time=0.250, min_utilization=0.80),
+        capacity=2,
+        max_vms=8000,
+    )
+    cold_modeler = PerformanceModeler(decision_cache_size=0, **kwargs)
+    warm_modeler = PerformanceModeler(**kwargs)
+    warm_modeler.decide(1200.0, 0.105, 55)  # prime the cache
+
+    def cold() -> None:
+        for _ in range(iterations):
+            cold_modeler.decide(1200.0, 0.105, 55)
+
+    def warm() -> None:
+        for _ in range(iterations):
+            warm_modeler.decide(1200.0, 0.105, 55)
+
+    cold_best = _best_of(cold, repeats) / iterations
+    warm_best = _best_of(warm, repeats) / iterations
+    return {
+        "cold_seconds": cold_best,
+        "warm_hit_seconds": warm_best,
+        "speedup": cold_best / warm_best if warm_best > 0 else float("inf"),
+        "cache": warm_modeler.cache_info(),
+    }
+
+
+def window_sampling(repeats: int = 5) -> Dict[str, Any]:
+    """One 60-s web window at peak rate (~70 k arrivals)."""
+    web = WebWorkload()
+    rng = RandomStreams(0).get("bench.web")
+    count = [0]
+
+    def sample() -> None:
+        count[0] = int(web.sample_window(rng, 43_200.0).size)
+
+    best = _best_of(sample, repeats)
+    return {"arrivals": count[0], "best_seconds": best}
+
+
+def parallel_runner(
+    workers: int = 4,
+    seeds: Sequence[int] = tuple(range(8)),
+    scale: float = 2000.0,
+    horizon: float = 12 * 3600.0,
+) -> Dict[str, Any]:
+    """Sequential vs process-pool replications of the adaptive web run.
+
+    Returns wall-clock for both paths, the speedup, and whether the
+    results matched bit-for-bit (``wall_seconds`` excluded — it is the
+    one nondeterministic diagnostic field).
+    """
+    scenario = web_scenario(scale=scale, horizon=horizon)
+    spec = PolicySpec(AdaptivePolicy)
+    t0 = time.perf_counter()
+    seq = run_replications(scenario, spec, seeds=seeds, workers=1)
+    seq_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    par = run_replications_parallel(scenario, spec, seeds=seeds, workers=workers)
+    par_wall = time.perf_counter() - t0
+
+    def strip(r):
+        return dataclasses.replace(r, wall_seconds=0.0)
+
+    identical = [strip(a) for a in seq] == [strip(b) for b in par]
+    return {
+        "seeds": list(seeds),
+        "workers": workers,
+        "sequential_seconds": seq_wall,
+        "parallel_seconds": par_wall,
+        "speedup": seq_wall / par_wall if par_wall > 0 else float("inf"),
+        "identical_results": identical,
+        "cache": {
+            "hits": sum(r.cache_hits for r in seq),
+            "misses": sum(r.cache_misses for r in seq),
+        },
+    }
+
+
+def kernel_bench(
+    events: int = 50_000,
+    workers: Optional[int] = None,
+    quick: bool = False,
+) -> Dict[str, Any]:
+    """The full micro-benchmark suite as one JSON-safe report."""
+    if quick:
+        events = min(events, 10_000)
+    report: Dict[str, Any] = {
+        "engine_throughput": engine_throughput(events=events),
+        "decision_latency": decision_latency(iterations=50 if quick else 200),
+        "window_sampling": window_sampling(repeats=2 if quick else 5),
+    }
+    if workers is not None and workers > 1:
+        report["parallel_runner"] = parallel_runner(
+            workers=workers,
+            seeds=tuple(range(4 if quick else 8)),
+            horizon=(6 if quick else 12) * 3600.0,
+        )
+    return report

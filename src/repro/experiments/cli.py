@@ -5,17 +5,24 @@ Installed as ``repro-experiments``::
     repro-experiments list
     repro-experiments run table2
     repro-experiments run fig5 --scale 500 --seeds 0,1 --out results/
+    repro-experiments run fig5 --workers 4
     repro-experiments run fig5-fluid
     repro-experiments run all --quick
+    repro-experiments bench --workers 4
 
 Each experiment prints its table to stdout; ``--out DIR`` additionally
 writes ``<experiment>.md`` (markdown table) and ``<experiment>.csv``.
+DES experiments also print a perf summary — per-replication wall-clock
+and Algorithm-1 decision-cache hits/misses — so performance regressions
+show up in every run, not only in the benchmark suite.  ``bench`` emits
+the kernel micro-benchmarks as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
@@ -23,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..metrics.report import format_markdown_table, format_table
 from ..sim.calendar import SECONDS_PER_DAY, SECONDS_PER_WEEK
 from . import figures
+from .runner import RunResult
 
 __all__ = ["main", "available_experiments"]
 
@@ -59,9 +67,11 @@ def _build(experiment: str, args: argparse.Namespace) -> "figures.FigureData":
         return figures.fig4_data(seed=seeds[0])
     if experiment == "fig5":
         horizon = SECONDS_PER_DAY if quick else SECONDS_PER_WEEK
-        return figures.fig5_data(scale=args.scale, seeds=seeds, horizon=horizon)
+        return figures.fig5_data(
+            scale=args.scale, seeds=seeds, horizon=horizon, workers=args.workers
+        )
     if experiment == "fig6":
-        return figures.fig6_data(seeds=seeds)
+        return figures.fig6_data(seeds=seeds, workers=args.workers)
     if experiment == "fig5-fluid":
         return figures.fig5_fluid_fullscale()
     if experiment == "fig6-fluid":
@@ -69,6 +79,30 @@ def _build(experiment: str, args: argparse.Namespace) -> "figures.FigureData":
     if experiment == "workload-analysis":
         return figures.workload_analysis_data(seed=seeds[0])
     raise SystemExit(f"unknown experiment {experiment!r}; try 'list'")
+
+
+def _perf_summary(data: "figures.FigureData") -> List[str]:
+    """Per-replication wall-clock + decision-cache lines for DES runs."""
+    results = data.raw.get("results")
+    if not isinstance(results, dict):
+        return []
+    lines: List[str] = []
+    for policy, runs in results.items():
+        if not isinstance(runs, (list, tuple)) or not runs:
+            continue
+        if not all(isinstance(r, RunResult) for r in runs):
+            continue
+        walls = ", ".join(f"s{r.seed}={r.wall_seconds:.2f}s" for r in runs)
+        hits = sum(r.cache_hits for r in runs)
+        misses = sum(r.cache_misses for r in runs)
+        line = f"  {policy:<12s} wall [{walls}]"
+        if hits or misses:
+            total = hits + misses
+            line += f"  decision cache {hits}/{total} hits"
+        lines.append(line)
+    if lines:
+        lines.insert(0, "perf: per-replication wall-clock and Algorithm-1 decision cache")
+    return lines
 
 
 def _write_outputs(data: "figures.FigureData", out_dir: Path) -> None:
@@ -98,11 +132,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     runp.add_argument("--seeds", default="0", help="comma-separated replication seeds")
     runp.add_argument("--out", default=None, help="directory for .md/.csv outputs")
     runp.add_argument("--quick", action="store_true", help="shorter horizons for smoke runs")
+    runp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for DES replications (default 1 = sequential)",
+    )
+    benchp = sub.add_parser("bench", help="kernel micro-benchmarks, emitted as JSON")
+    benchp.add_argument("--events", type=int, default=50_000, help="chained events for the engine benchmark")
+    benchp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="also benchmark the parallel replication runner at this pool size",
+    )
+    benchp.add_argument("--quick", action="store_true", help="smaller iteration counts for CI smoke runs")
+    benchp.add_argument("--out", default=None, help="write the JSON report to this file as well")
     args = parser.parse_args(argv)
 
     if args.command == "list" or args.command is None:
         for eid, desc in available_experiments().items():
             print(f"{eid:12s} {desc}")
+        return 0
+
+    if args.command == "bench":
+        from .bench import kernel_bench
+
+        report = kernel_bench(events=args.events, workers=args.workers, quick=args.quick)
+        blob = json.dumps(report, indent=2, sort_keys=True)
+        print(blob)
+        if args.out:
+            out_path = Path(args.out)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            out_path.write_text(blob + "\n")
         return 0
 
     targets = (
@@ -111,6 +173,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for experiment in targets:
         data = _build(experiment, args)
         print(format_table(data.headers, data.rows, title=data.title))
+        for line in _perf_summary(data):
+            print(line)
         print()
         if args.out:
             _write_outputs(data, Path(args.out))

@@ -25,7 +25,8 @@ from ..sim.fluid import FluidSimulator
 from ..sim.rng import RandomStreams
 from ..workloads.scientific import ScientificWorkload
 from ..workloads.web import TABLE_II, WebWorkload
-from .runner import RunResult, run_policy
+from .parallel import PolicySpec
+from .runner import RunResult, run_policy, run_replications
 from .scenario import ScenarioConfig, scientific_scenario, web_scenario
 
 __all__ = [
@@ -231,12 +232,15 @@ def policy_comparison(
     seeds: Sequence[int] = (0,),
     experiment_id: str = "policy-comparison",
     title: str = "",
+    workers: int = 1,
 ) -> FigureData:
     """Run every policy over every seed and build the four-panel table.
 
     One row per policy with the metrics of all four sub-figures:
     (a) min/max instances, (b) rejection & utilization rates,
-    (c) VM hours, (d) mean response time ± σ.
+    (c) VM hours, (d) mean response time ± σ.  ``workers > 1``
+    dispatches each policy's replications to a process pool (results
+    are bit-identical to the sequential path).
     """
     headers = [
         "policy",
@@ -252,7 +256,7 @@ def policy_comparison(
     rows: List[List[object]] = []
     all_results: Dict[str, List[RunResult]] = {}
     for factory in policies:
-        results = [run_policy(scenario, factory(), seed=s) for s in seeds]
+        results = run_replications(scenario, factory, seeds=seeds, workers=workers)
         name = results[0].policy
         all_results[name] = results
         rows.append(
@@ -280,9 +284,11 @@ def policy_comparison(
 def _web_policies(
     static_sizes: Sequence[int] = WEB_STATIC_SIZES,
 ) -> List[Callable[[], ProvisioningPolicy]]:
-    factories: List[Callable[[], ProvisioningPolicy]] = [lambda: AdaptivePolicy()]
+    # PolicySpec (not lambdas) so the factories survive pickling into a
+    # process pool when the caller asks for workers > 1.
+    factories: List[Callable[[], ProvisioningPolicy]] = [PolicySpec(AdaptivePolicy)]
     for n in static_sizes:
-        factories.append(lambda n=n: StaticPolicy(n))
+        factories.append(PolicySpec(StaticPolicy, n))
     return factories
 
 
@@ -291,6 +297,7 @@ def fig5_data(
     seeds: Sequence[int] = (0,),
     horizon: float = SECONDS_PER_WEEK,
     static_sizes: Sequence[int] = WEB_STATIC_SIZES,
+    workers: int = 1,
 ) -> FigureData:
     """Figure 5 — web scenario, Adaptive vs Static-{50..150}.
 
@@ -304,6 +311,7 @@ def fig5_data(
         seeds=seeds,
         experiment_id="fig5",
         title="Figure 5: web scenario (Wikipedia workload), one week",
+        workers=workers,
     )
     return data
 
@@ -312,18 +320,22 @@ def fig6_data(
     seeds: Sequence[int] = (0, 1, 2),
     horizon: float = SECONDS_PER_DAY,
     static_sizes: Sequence[int] = SCI_STATIC_SIZES,
+    workers: int = 1,
 ) -> FigureData:
     """Figure 6 — scientific scenario at full paper scale, one day."""
     scenario = scientific_scenario(horizon=horizon)
-    factories: List[Callable[[], ProvisioningPolicy]] = [lambda: AdaptivePolicy(update_interval=1800.0)]
+    factories: List[Callable[[], ProvisioningPolicy]] = [
+        PolicySpec(AdaptivePolicy, update_interval=1800.0)
+    ]
     for n in static_sizes:
-        factories.append(lambda n=n: StaticPolicy(n))
+        factories.append(PolicySpec(StaticPolicy, n))
     return policy_comparison(
         scenario,
         factories,
         seeds=seeds,
         experiment_id="fig6",
         title="Figure 6: scientific scenario (Grid Workloads Archive BoT), one day",
+        workers=workers,
     )
 
 

@@ -1,0 +1,160 @@
+"""Parallel replication execution — a process-pool backend for sweeps.
+
+Replications are embarrassingly parallel: each one builds its own
+engine, random streams, and data plane from ``(scenario, policy, seed)``
+alone, so N seeds can run on N cores with zero shared state.  This
+module gives :func:`~repro.experiments.runner.run_replications` that
+backend:
+
+* work items are picklable ``(scenario, policy_spec, seed)`` triples —
+  :class:`PolicySpec` is the picklable stand-in for the ad-hoc lambda
+  factories used in scripts;
+* dispatch is chunked (``chunk_size`` seeds per pickle round-trip) and
+  results come back **in seed order**;
+* replications use the exact same per-seed spawned random streams as
+  the sequential path, so results are bit-identical either way (the
+  common-random-numbers discipline is a property of the seed, not of
+  the execution order) — only the ``wall_seconds`` diagnostic differs;
+* the sequential path is the graceful fallback whenever the pool is
+  not usable: ``workers <= 1``, an unpicklable scenario/factory, or a
+  platform refusing to fork/spawn.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.policies import ProvisioningPolicy
+from .scenario import ScenarioConfig
+
+__all__ = ["PolicySpec", "default_workers", "run_replications_parallel"]
+
+
+class PolicySpec:
+    """Picklable recipe for building a fresh policy per replication.
+
+    ``PolicySpec(StaticPolicy, 20)`` replaces ``lambda: StaticPolicy(20)``
+    wherever the factory must cross a process boundary; calling the spec
+    builds a new policy instance.
+
+    Parameters
+    ----------
+    factory:
+        A picklable callable returning a policy — typically the policy
+        class itself.
+    *args, **kwargs:
+        Arguments forwarded on every build.
+    """
+
+    __slots__ = ("factory", "args", "kwargs")
+
+    def __init__(self, factory: Callable[..., ProvisioningPolicy], *args: Any, **kwargs: Any) -> None:
+        self.factory = factory
+        self.args = tuple(args)
+        self.kwargs = dict(kwargs)
+
+    def __call__(self) -> ProvisioningPolicy:
+        return self.factory(*self.args, **self.kwargs)
+
+    def __reduce__(self):
+        return (_rebuild_policy_spec, (self.factory, self.args, self.kwargs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = [getattr(self.factory, "__name__", repr(self.factory))]
+        parts += [repr(a) for a in self.args]
+        parts += [f"{k}={v!r}" for k, v in self.kwargs.items()]
+        return f"PolicySpec({', '.join(parts)})"
+
+
+def _rebuild_policy_spec(factory, args, kwargs) -> "PolicySpec":
+    return PolicySpec(factory, *args, **kwargs)
+
+
+def default_workers() -> int:
+    """Worker count to use when the caller says "parallel" unqualified."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _run_task(task: Tuple[ScenarioConfig, Callable[[], ProvisioningPolicy], int]):
+    """Process-pool entry point: one replication from a picklable triple."""
+    scenario, policy_factory, seed = task
+    from .runner import run_policy
+
+    return run_policy(scenario, policy_factory(), seed=seed)
+
+
+def _sequential(
+    scenario: ScenarioConfig,
+    policy_factory: Callable[[], ProvisioningPolicy],
+    seeds: Sequence[int],
+) -> List[Any]:
+    from .runner import run_policy
+
+    return [run_policy(scenario, policy_factory(), seed=s) for s in seeds]
+
+
+def run_replications_parallel(
+    scenario: ScenarioConfig,
+    policy_factory: Callable[[], ProvisioningPolicy],
+    seeds: Sequence[int] = (0, 1, 2),
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List[Any]:
+    """Run one replication per seed on a process pool.
+
+    Parameters
+    ----------
+    scenario, policy_factory, seeds:
+        Exactly as :func:`~repro.experiments.runner.run_replications`;
+        the factory must be picklable for the pool to be used
+        (:class:`PolicySpec` or any module-level callable qualifies —
+        a locally-defined lambda silently falls back to sequential,
+        with a warning).
+    workers:
+        Pool size; ``None`` means one per CPU, ``<= 1`` forces the
+        sequential path.
+    chunk_size:
+        Seeds per pickled dispatch; defaults to a chunking that hands
+        every worker ~one chunk.
+
+    Returns
+    -------
+    list
+        ``RunResult`` per seed, **in seed order**, bit-identical to the
+        sequential path except for the ``wall_seconds`` diagnostic.
+    """
+    if workers is None:
+        workers = default_workers()
+    n_workers = min(int(workers), len(seeds)) if seeds else 1
+    if n_workers <= 1:
+        return _sequential(scenario, policy_factory, seeds)
+    tasks = [(scenario, policy_factory, int(seed)) for seed in seeds]
+    try:
+        pickle.dumps(tasks[0])
+    except Exception as exc:  # noqa: BLE001 - any pickling failure falls back
+        warnings.warn(
+            f"parallel replications need picklable work items "
+            f"(use PolicySpec instead of a lambda): {exc!r}; running sequentially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _sequential(scenario, policy_factory, seeds)
+    if chunk_size is None:
+        chunk_size = max(1, len(tasks) // n_workers)
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(pool.map(_run_task, tasks, chunksize=int(chunk_size)))
+    except (OSError, ValueError, RuntimeError, ImportError) as exc:
+        # Sandboxes without fork/spawn, broken pools, missing
+        # multiprocessing primitives: degrade, don't die.
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); running replications sequentially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _sequential(scenario, policy_factory, seeds)

@@ -66,9 +66,13 @@ class RunResult:
     utilization:
         Busy time / provisioned VM time (Figure 5(b)/6(b)).
     wall_seconds, events:
-        Runner diagnostics.
+        Runner diagnostics.  ``wall_seconds`` is the only field that is
+        not a deterministic function of (scenario, policy, seed).
     fleet_series:
         ``(time, live_instances)`` trajectory when tracking was on.
+    cache_hits, cache_misses:
+        Algorithm-1 decision-cache counters of the run's modeler
+        (both 0 for policies without one, e.g. Static-N).
     """
 
     scenario: str
@@ -92,6 +96,8 @@ class RunResult:
     wall_seconds: float
     events: int
     fleet_series: Tuple[Tuple[float, int], ...] = ()
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 def build_context(
@@ -171,6 +177,9 @@ def run_policy(
     ctx.metrics.finalize(now, ctx.datacenter.vm_hours(now))
     m = ctx.metrics
     scale = scenario.scale
+    modeler = getattr(ctx.provisioner, "modeler", None)
+    cache_hits = modeler.cache_hits if modeler is not None else 0
+    cache_misses = modeler.cache_misses if modeler is not None else 0
     return RunResult(
         scenario=scenario.name,
         policy=policy.name,
@@ -193,6 +202,8 @@ def run_policy(
         wall_seconds=wall,
         events=ctx.engine.events_fired,
         fleet_series=tuple(m.fleet_series),
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
     )
 
 
@@ -200,10 +211,32 @@ def run_replications(
     scenario: ScenarioConfig,
     policy_factory: Callable[[], ProvisioningPolicy],
     seeds: Sequence[int] = (0, 1, 2),
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> List[RunResult]:
     """Run several replications with independent seeds.
 
     ``policy_factory`` builds a fresh policy per replication so no
     control-plane state leaks between runs.
+
+    Parameters
+    ----------
+    workers:
+        ``<= 1`` (default) runs seeds sequentially in-process;
+        ``> 1`` dispatches them to a process pool
+        (:mod:`repro.experiments.parallel`), which returns results in
+        seed order, bit-identical to the sequential path apart from the
+        ``wall_seconds`` diagnostic.  The factory must then be
+        picklable — use :class:`~repro.experiments.parallel.PolicySpec`
+        instead of a lambda; unpicklable factories fall back to the
+        sequential path with a warning.
+    chunk_size:
+        Seeds per pool dispatch (parallel path only).
     """
+    if workers is not None and workers > 1:
+        from .parallel import run_replications_parallel
+
+        return run_replications_parallel(
+            scenario, policy_factory, seeds, workers=workers, chunk_size=chunk_size
+        )
     return [run_policy(scenario, policy_factory(), seed=s) for s in seeds]

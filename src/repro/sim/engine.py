@@ -11,15 +11,27 @@ The engine is deliberately minimal: no process coroutines, no channels.
 Every higher-level abstraction (queues, servers, provisioners) is built
 from plain callbacks in :mod:`repro.cloud` and :mod:`repro.core`.  This
 keeps the inner loop short: profiling showed heap operations and
-callback dispatch dominate, so the loop binds ``heappop`` to a local
-and the heap compares C-level list entries (the hpc-parallel guide's
-rule: measure first, then shave only the measured hot path).
+callback dispatch dominate, so the loop binds ``heappop`` to a local,
+the heap compares C-level list entries, and :meth:`schedule` pushes
+inline rather than delegating to :meth:`schedule_at` (the hpc-parallel
+guide's rule: measure first, then shave only the measured hot path).
+
+Heap hygiene
+------------
+Cancellation is lazy (an O(1) flag flip), which is the right trade for
+the common case but lets crash/drain-heavy runs accumulate dead entries
+in the future-event list.  :meth:`discard` therefore tracks the count
+of live cancelled entries and *compacts* the heap in place — filtering
+dead entries and re-heapifying — whenever they exceed half of a
+non-trivially-sized heap.  Compaction is O(n) but amortized O(1) per
+cancellation, and mutates the list in place so a running event loop
+(which binds the heap to a local) never observes a stale binding.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
+from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
 from typing import Callable, List, Optional
 
 from ..errors import EngineStateError, SchedulingInPastError
@@ -48,6 +60,10 @@ class Engine:
     [5.0]
     """
 
+    #: Compaction is skipped below this heap size — filtering a small
+    #: list costs more bookkeeping than the dead entries ever will.
+    COMPACT_MIN_SIZE = 1024
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: List[EventHandle] = []
@@ -55,7 +71,10 @@ class Engine:
         self._running = False
         self._finished = False
         self._events_fired = 0
-        #: Hooks invoked (with the engine) after the run completes.
+        self._cancelled = 0
+        #: Number of heap compactions performed (observability).
+        self.compactions = 0
+        #: Hooks invoked (with the engine) after a clean run completes.
         self.at_end: List[Callable[["Engine"], None]] = []
 
     # ------------------------------------------------------------------
@@ -68,7 +87,12 @@ class Engine:
 
     @property
     def events_fired(self) -> int:
-        """Number of events executed so far (cancelled events excluded)."""
+        """Number of events executed so far (cancelled events excluded).
+
+        Updated *before* each callback fires, so a callback observing
+        the counter sees itself included — identically under
+        :meth:`run` and :meth:`step`.
+        """
         return self._events_fired
 
     @property
@@ -81,8 +105,17 @@ class Engine:
         return len(self._heap)
 
     @property
+    def cancelled_pending(self) -> int:
+        """Tracked count of cancelled-but-unpopped entries in the heap.
+
+        Only cancellations routed through :meth:`discard` are counted;
+        the static :meth:`cancel` cannot reach the engine's counter.
+        """
+        return self._cancelled
+
+    @property
     def finished(self) -> bool:
-        """Whether :meth:`run` has completed."""
+        """Whether :meth:`run` has completed (including by exception)."""
         return self._finished
 
     # ------------------------------------------------------------------
@@ -96,9 +129,20 @@ class Engine:
     ) -> EventHandle:
         """Schedule ``callback`` to fire ``delay`` seconds from now.
 
-        Returns the event handle, which may be passed to :meth:`cancel`.
+        Returns the event handle, which may be passed to :meth:`cancel`
+        or :meth:`discard`.
         """
-        return self.schedule_at(self._now + delay, callback, priority)
+        # Inlined schedule_at: this sits on the DES hot path (one call
+        # per completion) and the extra frame is measurable.
+        when = self._now + delay
+        if self._finished:
+            raise EngineStateError("cannot schedule events on a finished engine")
+        if not when >= self._now:  # also catches NaN
+            raise SchedulingInPastError(self._now, when)
+        self._seq = seq = self._seq + 1
+        entry: EventHandle = [when, priority, seq, callback, False]
+        _heappush(self._heap, entry)
+        return entry
 
     def schedule_at(
         self,
@@ -119,18 +163,48 @@ class Engine:
             raise EngineStateError("cannot schedule events on a finished engine")
         if not when >= self._now:  # also catches NaN
             raise SchedulingInPastError(self._now, when)
-        self._seq += 1
-        entry: EventHandle = [when, priority, self._seq, callback, False]
-        heapq.heappush(self._heap, entry)
+        self._seq = seq = self._seq + 1
+        entry: EventHandle = [float(when), priority, seq, callback, False]
+        _heappush(self._heap, entry)
         return entry
 
     @staticmethod
     def cancel(entry: EventHandle) -> None:
         """Lazily cancel a scheduled event (idempotent).
 
-        The entry stays in the heap but is skipped when popped.
+        The entry stays in the heap but is skipped when popped.  Prefer
+        :meth:`discard` when an engine reference is at hand — it also
+        feeds the compaction heuristic.
         """
         entry[CANCELLED] = True
+
+    def discard(self, entry: EventHandle) -> None:
+        """Cancel ``entry`` and account for it (idempotent).
+
+        Identical semantics to :meth:`cancel`, plus the engine tracks
+        how many cancelled entries are still sitting in the heap and
+        compacts the future-event list when they exceed half of a
+        heap larger than :attr:`COMPACT_MIN_SIZE`.
+        """
+        if entry[CANCELLED]:
+            return
+        entry[CANCELLED] = True
+        self._cancelled += 1
+        heap = self._heap
+        if len(heap) >= self.COMPACT_MIN_SIZE and 2 * self._cancelled >= len(heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant.
+
+        In-place (slice assignment) so locals bound to the heap by a
+        running loop stay valid.
+        """
+        heap = self._heap
+        heap[:] = [e for e in heap if not e[CANCELLED]]
+        _heapify(heap)
+        self._cancelled = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # execution
@@ -149,6 +223,14 @@ class Engine:
         ------
         EngineStateError
             If called re-entrantly or after the engine finished.
+
+        Notes
+        -----
+        The engine is marked finished even when a callback raises — a
+        half-run engine is not resumable (its clock and entity state
+        are mid-transaction), so re-running or scheduling afterwards
+        raises :class:`EngineStateError`.  ``at_end`` hooks only fire
+        after a *clean* completion.
         """
         if self._running:
             raise EngineStateError("Engine.run() is not re-entrant")
@@ -156,27 +238,29 @@ class Engine:
             raise EngineStateError("engine already finished; create a new Engine")
         self._running = True
         heap = self._heap
-        pop = heapq.heappop
+        pop = _heappop
         horizon = math.inf if until is None else float(until)
-        fired = 0
+        fired = self._events_fired
         try:
             while heap:
-                entry = heap[0]
+                entry = pop(heap)
+                if entry[4]:
+                    if self._cancelled:
+                        self._cancelled -= 1
+                    continue
                 when = entry[0]
                 if when > horizon:
+                    _heappush(heap, entry)  # keep it pending; we overshot
                     break
-                pop(heap)
-                if entry[4]:
-                    continue
                 self._now = when
                 fired += 1
+                self._events_fired = fired
                 entry[3]()
             if until is not None and self._now < horizon:
                 self._now = horizon
         finally:
-            self._events_fired += fired
             self._running = False
-        self._finished = True
+            self._finished = True
         for hook in self.at_end:
             hook(self)
 
@@ -185,13 +269,17 @@ class Engine:
 
         Returns ``True`` if an event fired, ``False`` if the list is
         empty.  Useful in tests that need to observe intermediate state.
+        Shares :meth:`run`'s accounting: ``events_fired`` is updated
+        before the callback executes.
         """
         if self._running:
             raise EngineStateError("Engine.step() is not re-entrant")
         heap = self._heap
         while heap:
-            entry = heapq.heappop(heap)
+            entry = _heappop(heap)
             if entry[4]:
+                if self._cancelled:
+                    self._cancelled -= 1
                 continue
             self._now = entry[0]
             self._events_fired += 1

@@ -129,6 +129,41 @@ class FluidSimulator:
             sojourn = self.service_time * (1.0 + max(0.0, (rho - 0.5)) ** 2)
         return blocking, min(sojourn, self.capacity * self.service_time)
 
+    def _station_metrics_vec(self, lam_i: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_station_metrics` over an interval grid.
+
+        The deterministic flow model is pure numpy; the Markovian model
+        still builds one :class:`MM1KQueue` per *unique* offered load —
+        daily/weekly periodic scenarios repeat the same loads, so the
+        solve count collapses from one-per-interval to one-per-level.
+        """
+        ts = self.service_time
+        mu = 1.0 / ts
+        k = self.capacity
+        blocking = np.zeros(lam_i.size)
+        sojourn = np.full(lam_i.size, ts)
+        pos = lam_i > 0.0
+        if not np.any(pos):
+            return blocking, sojourn
+        if self.flow_model == "markovian":
+            levels, inverse = np.unique(lam_i[pos], return_inverse=True)
+            b = np.empty(levels.size)
+            s = np.empty(levels.size)
+            for j, level in enumerate(levels):
+                q = MM1KQueue(float(level), mu, k)
+                b[j] = q.blocking_probability
+                s[j] = q.mean_response_time
+            blocking[pos] = b[inverse]
+            sojourn[pos] = s[inverse]
+            return blocking, sojourn
+        rho = lam_i[pos] / mu
+        over = rho >= 1.0
+        b = np.where(over, 1.0 - 1.0 / np.maximum(rho, 1.0), 0.0)
+        s = np.where(over, k * ts, ts * (1.0 + np.maximum(0.0, rho - 0.5) ** 2))
+        blocking[pos] = b
+        sojourn[pos] = np.minimum(s, k * ts)
+        return blocking, sojourn
+
     # ------------------------------------------------------------------
     def run_static(self, instances: int, horizon: float) -> FluidResult:
         """Evaluate a Static-N policy over ``[0, horizon)``."""
@@ -197,21 +232,19 @@ class FluidSimulator:
         m_series: List[Tuple[float, int]],
         horizon: float,
     ) -> FluidResult:
-        lam = np.asarray(self.workload.mean_rate(times), dtype=np.float64)
+        lam = np.atleast_1d(np.asarray(self.workload.mean_rate(times), dtype=np.float64))
         dt = self.dt
-        total = accepted = rejected = 0.0
-        busy = 0.0
-        resp_weighted = 0.0
-        for lam_t, m in zip(lam, m_grid):
-            m = int(m)
-            lam_i = lam_t / m
-            blocking, sojourn = self._station_metrics(lam_i, m)
-            acc_rate = lam_t * (1.0 - blocking)
-            total += lam_t * dt
-            accepted += acc_rate * dt
-            rejected += lam_t * blocking * dt
-            busy += acc_rate * self.service_time * dt
-            resp_weighted += acc_rate * dt * sojourn
+        # Vectorized interval loop: one pass of numpy kernels over the
+        # whole grid instead of ~10k Python iterations per simulated
+        # week (the fluid engine's measured hot spot).
+        lam_i = lam / m_grid.astype(np.float64)
+        blocking, sojourn = self._station_metrics_vec(lam_i)
+        acc_rate = lam * (1.0 - blocking)
+        total = float(np.sum(lam)) * dt
+        accepted = float(np.sum(acc_rate)) * dt
+        rejected = float(np.sum(lam * blocking)) * dt
+        busy = accepted * self.service_time
+        resp_weighted = float(np.sum(acc_rate * sojourn)) * dt
         vm_seconds = float(np.sum(m_grid.astype(np.float64) * dt))
         vm_hours = vm_seconds / 3600.0
         return FluidResult(

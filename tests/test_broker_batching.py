@@ -1,0 +1,115 @@
+"""Tests of batched arrival dispatch in the broker (WorkloadSource)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.broker import WorkloadSource, _ArrivalCursor
+from repro.errors import ConfigurationError
+from repro.sim import Engine
+
+
+class RecordingAdmission:
+    """Stands in for AdmissionControl: records every submit time."""
+
+    def __init__(self):
+        self.times = []
+
+    def submit(self, arrival_time):
+        self.times.append(arrival_time)
+        return True
+
+
+class GridWorkload:
+    """Deterministic workload: ``per_window`` evenly spaced arrivals."""
+
+    window = 60.0
+
+    def __init__(self, per_window=100):
+        self.per_window = per_window
+
+    def sample_window(self, rng, t0):
+        return t0 + np.linspace(0.0, self.window, self.per_window, endpoint=False)
+
+
+def make_source(per_window=100, horizon=180.0):
+    eng = Engine()
+    admission = RecordingAdmission()
+    source = WorkloadSource(eng, GridWorkload(per_window), None, admission, horizon)
+    return eng, admission, source
+
+
+def test_every_arrival_dispatched_in_order_across_windows():
+    eng, admission, source = make_source(per_window=50, horizon=180.0)
+    source.start()
+    eng.run()
+    assert source.generated == 3 * 50
+    assert len(admission.times) == 3 * 50
+    assert admission.times == sorted(admission.times)
+    assert admission.times[0] == 0.0
+    assert admission.times[-1] < 180.0
+
+
+def test_heap_stays_small_despite_large_batches():
+    eng, admission, source = make_source(per_window=5000, horizon=120.0)
+    source.start()
+    max_pending = 0
+    while eng.step():
+        max_pending = max(max_pending, eng.pending)
+    # One cursor entry plus one window-generation event: the 5000-arrival
+    # batch never lands in the heap.
+    assert len(admission.times) == 2 * 5000
+    assert max_pending <= 2
+
+
+def test_arrivals_beyond_horizon_are_clipped():
+    eng, admission, source = make_source(per_window=60, horizon=90.0)
+    source.start()
+    eng.run()
+    # Window [60, 120) is generated but clipped at the 90-s horizon.
+    assert all(t < 90.0 for t in admission.times)
+    assert source.generated == 60 + 30
+    assert len(admission.times) == 90
+
+
+def test_cursor_index_resets_between_windows():
+    # Regression: after fully draining a batch the cursor must not treat
+    # its last (already-dispatched) timestamp as a leftover — merging it
+    # into the next window would schedule an event in the past.
+    eng = Engine()
+    admission = RecordingAdmission()
+    cursor = _ArrivalCursor(eng, admission)
+    cursor.load([1.0, 2.0])
+
+    def reload():
+        assert admission.times == [1.0, 2.0]
+        assert cursor.remaining == 0
+        cursor.load([6.0, 7.0])  # must not re-dispatch t=2.0
+
+    eng.schedule_at(5.0, reload)
+    eng.run(until=10.0)
+    assert admission.times == [1.0, 2.0, 6.0, 7.0]
+
+
+def test_cursor_merges_genuine_leftovers():
+    eng = Engine()
+    admission = RecordingAdmission()
+    cursor = _ArrivalCursor(eng, admission)
+    cursor.load([5.0, 6.0, 7.0])
+
+    def early_reload():
+        assert cursor.remaining == 2  # only t=5.0 dispatched so far
+        cursor.load([8.0])
+
+    eng.schedule_at(5.5, early_reload)
+    eng.run(until=10.0)
+    assert admission.times == [5.0, 6.0, 7.0, 8.0]
+
+
+def test_invalid_horizon_rejected():
+    eng = Engine()
+    with pytest.raises(ConfigurationError):
+        WorkloadSource(eng, GridWorkload(), None, RecordingAdmission(), 0.0)
+    with pytest.raises(ConfigurationError):
+        WorkloadSource(eng, GridWorkload(), None, RecordingAdmission(), float("inf"))

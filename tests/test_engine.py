@@ -172,3 +172,136 @@ def test_pending_counts_heap_entries():
     eng.schedule_at(1.0, lambda: None)
     eng.schedule_at(2.0, lambda: None)
     assert eng.pending == 2
+
+
+# ----------------------------------------------------------------------
+# finished-on-exception semantics
+# ----------------------------------------------------------------------
+def test_callback_exception_marks_engine_finished():
+    eng = Engine()
+
+    def boom():
+        raise ValueError("callback exploded")
+
+    eng.schedule_at(1.0, boom)
+    with pytest.raises(ValueError):
+        eng.run()
+    # A half-run engine is not resumable: it is finished, re-running
+    # and scheduling both raise.
+    assert eng.finished
+    with pytest.raises(EngineStateError):
+        eng.run()
+    with pytest.raises(EngineStateError):
+        eng.schedule_at(5.0, lambda: None)
+
+
+def test_at_end_hooks_skipped_on_exception():
+    eng = Engine()
+    seen = []
+    eng.at_end.append(lambda e: seen.append("end"))
+    eng.schedule_at(1.0, lambda: (_ for _ in ()).throw(RuntimeError("x")))
+    with pytest.raises(RuntimeError):
+        eng.run()
+    assert seen == []
+
+
+def test_events_fired_counts_events_before_exception():
+    eng = Engine()
+    eng.schedule_at(1.0, lambda: None)
+    eng.schedule_at(2.0, lambda: (_ for _ in ()).throw(RuntimeError("x")))
+    with pytest.raises(RuntimeError):
+        eng.run()
+    assert eng.events_fired == 2  # the raising event itself counts
+
+
+# ----------------------------------------------------------------------
+# unified step()/run() accounting
+# ----------------------------------------------------------------------
+def test_step_then_run_accounting_is_consistent():
+    eng = Engine()
+    for t in (1.0, 2.0, 3.0, 4.0):
+        eng.schedule_at(t, lambda: None)
+    assert eng.step() is True
+    assert eng.step() is True
+    assert eng.events_fired == 2
+    eng.run()
+    assert eng.events_fired == 4
+
+
+def test_events_fired_includes_current_event_during_run_and_step():
+    observed = []
+
+    eng1 = Engine()
+    eng1.schedule_at(1.0, lambda: observed.append(("run", eng1.events_fired)))
+    eng1.schedule_at(2.0, lambda: observed.append(("run", eng1.events_fired)))
+    eng1.run()
+
+    eng2 = Engine()
+    eng2.schedule_at(1.0, lambda: observed.append(("step", eng2.events_fired)))
+    eng2.step()
+
+    # Both execution paths expose the same mid-callback counter value.
+    assert observed == [("run", 1), ("run", 2), ("step", 1)]
+
+
+# ----------------------------------------------------------------------
+# heap hygiene: discard + compaction
+# ----------------------------------------------------------------------
+def test_discard_cancels_and_tracks():
+    eng = Engine()
+    h = eng.schedule_at(1.0, lambda: None)
+    eng.schedule_at(2.0, lambda: None)
+    eng.discard(h)
+    eng.discard(h)  # idempotent: counted once
+    assert eng.cancelled_pending == 1
+    eng.run()
+    assert eng.events_fired == 1
+    assert eng.cancelled_pending == 0
+
+
+def test_compaction_triggers_above_cancelled_fraction():
+    eng = Engine()
+    keep = [eng.schedule_at(10.0 + i, lambda: None) for i in range(100)]
+    dead = [eng.schedule_at(1.0 + i * 1e-3, lambda: None) for i in range(Engine.COMPACT_MIN_SIZE)]
+    assert eng.pending == 100 + Engine.COMPACT_MIN_SIZE
+    for h in dead:
+        eng.discard(h)
+    # Crossing the 50 % cancelled fraction compacts the heap in place.
+    # The sweep fires mid-loop; later discards on the now-small heap do
+    # not retrigger it (the COMPACT_MIN_SIZE gate), so some cancelled
+    # entries legitimately linger — they are skipped at pop time.
+    assert eng.compactions == 1
+    assert eng.pending < 100 + Engine.COMPACT_MIN_SIZE
+    assert eng.cancelled_pending == eng.pending - 100
+    eng.run()
+    assert eng.events_fired == 100
+    assert eng.cancelled_pending == 0
+    del keep
+
+
+def test_small_heaps_are_never_compacted():
+    eng = Engine()
+    handles = [eng.schedule_at(1.0 + i, lambda: None) for i in range(10)]
+    for h in handles:
+        eng.discard(h)
+    assert eng.compactions == 0
+    assert eng.cancelled_pending == 10
+    eng.run()
+    assert eng.events_fired == 0
+
+
+def test_static_cancel_still_works_without_tracking():
+    eng = Engine()
+    h = eng.schedule_at(1.0, lambda: None)
+    Engine.cancel(h)  # class-level call, no engine counter involved
+    assert eng.cancelled_pending == 0
+    eng.run()
+    assert eng.events_fired == 0
+
+
+def test_event_beyond_horizon_survives_for_inspection():
+    eng = Engine()
+    eng.schedule_at(50.0, lambda: None)
+    eng.run(until=10.0)
+    assert eng.now == 10.0
+    assert eng.pending == 1  # popped, inspected, pushed back
