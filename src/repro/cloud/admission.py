@@ -18,6 +18,8 @@ the fleet's balancer or records a rejection.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .fleet import ApplicationFleet
 from .monitor import Monitor
 
@@ -38,19 +40,29 @@ class AdmissionControl:
         rate sampler (needed by reactive predictors; costs one method
         call per request, so benchmarks that use model-informed
         predictors leave it off).
+    tracer:
+        Optional :class:`repro.obs.bus.TraceBus`.  When set, every
+        submission emits ``request.admitted`` / ``request.rejected``
+        and every accept↔reject transition emits ``admission.state`` —
+        the paper's "all instances hold k" condition becoming
+        observable as discrete gate flips.  When ``None`` (default)
+        the hot path is exactly the untraced code.
     """
 
-    __slots__ = ("_fleet", "_monitor", "_count_arrivals")
+    __slots__ = ("_fleet", "_monitor", "_count_arrivals", "_tracer", "_accepting")
 
     def __init__(
         self,
         fleet: ApplicationFleet,
         monitor: Monitor,
         count_arrivals: bool = False,
+        tracer: Optional["object"] = None,
     ) -> None:
         self._fleet = fleet
         self._monitor = monitor
         self._count_arrivals = bool(count_arrivals)
+        self._tracer = tracer
+        self._accepting: Optional[bool] = None
 
     def submit(self, arrival_time: float) -> bool:
         """Admit (and dispatch) or reject one request.
@@ -59,7 +71,16 @@ class AdmissionControl:
         """
         if self._count_arrivals:
             self._monitor.record_arrival()
-        if self._fleet.dispatch(arrival_time):
+        accepted = self._fleet.dispatch(arrival_time)
+        tracer = self._tracer
+        if tracer is not None:
+            if accepted is not self._accepting:
+                self._accepting = accepted
+                tracer.emit("admission.state", arrival_time, accepting=accepted)
+            tracer.emit(
+                "request.admitted" if accepted else "request.rejected", arrival_time
+            )
+        if accepted:
             self._monitor.record_acceptance()
             return True
         self._monitor.record_rejection()

@@ -19,7 +19,7 @@ an O(log n) win per event on exactly the hottest path.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -115,6 +115,7 @@ class WorkloadSource:
         rng: np.random.Generator,
         admission: AdmissionControl,
         horizon: float,
+        tracer: Optional[object] = None,
     ) -> None:
         if horizon <= 0.0 or not math.isfinite(horizon):
             raise ConfigurationError(f"horizon must be finite and > 0, got {horizon!r}")
@@ -125,6 +126,9 @@ class WorkloadSource:
         self._cursor = _ArrivalCursor(engine, admission)
         self.horizon = float(horizon)
         self.generated = 0
+        #: Optional :class:`repro.obs.bus.TraceBus`; one event per
+        #: generated window (cold path — never per arrival).
+        self._tracer = tracer
 
     def start(self) -> None:
         """Schedule generation of the first window (call before run)."""
@@ -137,6 +141,10 @@ class WorkloadSource:
         horizon = self.horizon
         if arrivals.size and arrivals[-1] >= horizon:
             arrivals = arrivals[arrivals < horizon]
+        if self._tracer is not None:
+            self._tracer.emit(
+                "window.generated", self._engine.now, t0=t0, arrivals=int(arrivals.size)
+            )
         if arrivals.size:
             self.generated += int(arrivals.size)
             self._cursor.load(arrivals.tolist())

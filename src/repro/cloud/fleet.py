@@ -60,6 +60,11 @@ class ApplicationFleet:
         Seconds between VM placement and the instance turning ACTIVE.
         The paper's simulations provision ahead of demand via the
         analyzer's lead time; 0 models an instantaneous boot.
+    tracer:
+        Optional :class:`repro.obs.bus.TraceBus`.  When set, instance
+        lifecycle transitions emit ``vm.created`` / ``vm.draining`` /
+        ``vm.destroyed`` events (destruction carries the reason:
+        ``idle``, ``drained``, ``cancelled`` or ``crashed``).
     """
 
     def __init__(
@@ -73,6 +78,7 @@ class ApplicationFleet:
         balancer: Optional[LoadBalancer] = None,
         vm_spec: VMSpec = DEFAULT_VM_SPEC,
         boot_delay: float = 0.0,
+        tracer: Optional[object] = None,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(f"queue capacity k must be >= 1, got {capacity}")
@@ -87,10 +93,18 @@ class ApplicationFleet:
         self.balancer = balancer if balancer is not None else RoundRobinBalancer()
         self.vm_spec = vm_spec
         self.boot_delay = float(boot_delay)
+        self._tracer = tracer
         self._active: List[AppInstance] = []
         self._booting: List[AppInstance] = []
         self._draining: List[AppInstance] = []
         self._next_instance_id = 0
+
+    def _emit_vm(self, event_type: str, inst: AppInstance, **fields: object) -> None:
+        """Trace one instance lifecycle transition (no-op untraced)."""
+        if self._tracer is not None:
+            self._tracer.emit(
+                event_type, self._engine.now, instance=inst.instance_id, **fields
+            )
 
     # ------------------------------------------------------------------
     # census
@@ -203,6 +217,7 @@ class ApplicationFleet:
             vm.boot_completed()
             inst.activate()
             self._active.append(inst)
+        self._emit_vm("vm.created", inst, booting=self.boot_delay > 0.0)
         return inst
 
     def grow_with_spec(self, spec: VMSpec):
@@ -225,13 +240,16 @@ class ApplicationFleet:
             self._booting.remove(inst)
             inst.mark_destroyed()
             self._datacenter.destroy_vm(inst.vm, now)
+            self._emit_vm("vm.destroyed", inst, reason="cancelled")
         elif inst in self._active:
             self._active.remove(inst)
             if inst.is_idle:
                 inst.mark_destroyed()
                 self._datacenter.destroy_vm(inst.vm, now)
+                self._emit_vm("vm.destroyed", inst, reason="idle")
             else:
                 self._draining.append(inst)
+                self._emit_vm("vm.draining", inst)
                 inst.drain()
         self._after_membership_change()
 
@@ -251,6 +269,7 @@ class ApplicationFleet:
             inst = self._booting.pop()
             inst.mark_destroyed()
             self._datacenter.destroy_vm(inst.vm, now)
+            self._emit_vm("vm.destroyed", inst, reason="cancelled")
             count -= 1
         if count <= 0:
             self._after_membership_change()
@@ -262,6 +281,7 @@ class ApplicationFleet:
             self._active.remove(inst)
             inst.mark_destroyed()
             self._datacenter.destroy_vm(inst.vm, now)
+            self._emit_vm("vm.destroyed", inst, reason="idle")
         count -= min(count, len(idle))
         if count <= 0:
             self._after_membership_change()
@@ -272,6 +292,7 @@ class ApplicationFleet:
         for inst in victims:
             self._active.remove(inst)
             self._draining.append(inst)
+            self._emit_vm("vm.draining", inst)
             inst.drain()  # may call _on_drained synchronously if idle
         self._after_membership_change()
 
@@ -303,6 +324,7 @@ class ApplicationFleet:
                 break
         lost = inst.crash()
         self._datacenter.destroy_vm(inst.vm, self._engine.now)
+        self._emit_vm("vm.destroyed", inst, reason="crashed", lost=lost)
         self._metrics.record_loss(lost)
         self._after_membership_change()
         return lost
@@ -315,6 +337,7 @@ class ApplicationFleet:
             self._draining.remove(inst)
         inst.mark_destroyed()
         self._datacenter.destroy_vm(inst.vm, self._engine.now)
+        self._emit_vm("vm.destroyed", inst, reason="drained")
         self._metrics.record_fleet_size(self._engine.now, self.live_count)
 
     def _after_membership_change(self) -> None:

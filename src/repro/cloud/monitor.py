@@ -49,6 +49,11 @@ class Monitor:
         predictors.
     history_length:
         Maximum retained rate samples.
+    tracer:
+        Optional :class:`repro.obs.bus.TraceBus`.  When set, each
+        completion emits ``request.completed`` and each rate sample
+        emits ``monitor.sample`` (carrying the current ``T_m``
+        estimate); ``None`` keeps the hot path unchanged.
     """
 
     def __init__(
@@ -59,6 +64,7 @@ class Monitor:
         ewma_alpha: float = 0.05,
         rate_sample_interval: Optional[float] = None,
         history_length: int = 4096,
+        tracer: Optional[object] = None,
     ) -> None:
         if default_service_time <= 0.0:
             raise ConfigurationError(
@@ -71,6 +77,7 @@ class Monitor:
         self._tm = float(default_service_time)
         self._alpha = float(ewma_alpha)
         self._seen_completion = False
+        self._tracer = tracer
         # -- arrival-rate sampling ------------------------------------
         self._rate_interval = rate_sample_interval
         self._arrivals_in_window = 0
@@ -93,6 +100,13 @@ class Monitor:
         else:
             self._tm = service_time
             self._seen_completion = True
+        if self._tracer is not None:
+            self._tracer.emit(
+                "request.completed",
+                self._engine.now,
+                response_time=response_time,
+                service_time=service_time,
+            )
 
     def record_acceptance(self) -> None:
         """Observe one admitted request (called by admission control)."""
@@ -130,6 +144,13 @@ class Monitor:
         rate = self._arrivals_in_window / self._rate_interval
         self.rate_history.append((self._engine.now, rate))
         self._arrivals_in_window = 0
+        if self._tracer is not None:
+            self._tracer.emit(
+                "monitor.sample",
+                self._engine.now,
+                rate=rate,
+                service_time_estimate=self._tm,
+            )
         self._engine.schedule(self._rate_interval, self._sample_rate, PRIORITY_LOW)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

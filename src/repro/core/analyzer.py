@@ -67,6 +67,10 @@ class WorkloadAnalyzer:
         Requires a monitor with rate sampling enabled.
     deviation_safety:
         Inflation applied to the observed rate on a corrective alert.
+    tracer:
+        Optional :class:`repro.obs.bus.TraceBus`; every alert then
+        emits a ``prediction.issued`` event (``corrective=True`` for
+        deviation-triggered ones, which also carry the observed rate).
     """
 
     def __init__(
@@ -80,6 +84,7 @@ class WorkloadAnalyzer:
         monitor: Optional[Monitor] = None,
         deviation_threshold: Optional[float] = None,
         deviation_safety: float = 1.1,
+        tracer: Optional[object] = None,
     ) -> None:
         if update_interval <= 0.0 or not math.isfinite(update_interval):
             raise ConfigurationError(
@@ -96,6 +101,7 @@ class WorkloadAnalyzer:
         self.update_interval = float(update_interval)
         self.lead_time = float(lead_time)
         self._monitor = monitor
+        self._tracer = tracer
         self._last_fed = -math.inf
         #: History of ``(alert_time, window_start, window_end, rate)``.
         self.alerts: List[Tuple[float, float, float, float]] = []
@@ -175,6 +181,15 @@ class WorkloadAnalyzer:
         if rate is not None:
             self.alerts.append((now, window_start, window_end, rate))
             self._last_estimate = rate
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "prediction.issued",
+                    now,
+                    rate=rate,
+                    window_start=window_start,
+                    window_end=window_end,
+                    corrective=False,
+                )
             self._on_estimate(rate)
         if nxt < self.horizon:
             self._engine.schedule_at(nxt, self._alert, PRIORITY_HIGH)
@@ -191,6 +206,17 @@ class WorkloadAnalyzer:
                 self.alerts.append((now, now, now + self.update_interval, corrected))
                 self.corrections.append(now)
                 self._last_estimate = corrected
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "prediction.issued",
+                        now,
+                        rate=corrected,
+                        window_start=now,
+                        window_end=now + self.update_interval,
+                        corrective=True,
+                        observed=observed,
+                        previous_estimate=estimate,
+                    )
                 self._on_estimate(corrected)
         interval = self._monitor.rate_sample_interval
         nxt = now + interval

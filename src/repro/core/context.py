@@ -48,6 +48,12 @@ class SimulationContext:
         Set by adaptive policies after attaching (for diagnostics).
     analyzer:
         Set by adaptive policies after attaching (for diagnostics).
+    tracer:
+        Optional :class:`repro.obs.bus.TraceBus` shared by every
+        instrumented component of the run (``None`` = tracing off).
+    audit:
+        Optional :class:`repro.obs.audit.DecisionAuditLog` that records
+        every Algorithm-1 invocation for replay/explanation.
     """
 
     engine: Engine
@@ -64,3 +70,5 @@ class SimulationContext:
     horizon: float
     provisioner: Optional[object] = field(default=None)
     analyzer: Optional[object] = field(default=None)
+    tracer: Optional[object] = field(default=None)
+    audit: Optional[object] = field(default=None)

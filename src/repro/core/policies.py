@@ -177,6 +177,7 @@ class AdaptivePolicy(ProvisioningPolicy):
         max_vms = self.max_instances
         if max_vms is None:
             max_vms = ctx.datacenter.max_vms(ctx.fleet.vm_spec)
+        observed = ctx.tracer is not None or ctx.audit is not None
         modeler = PerformanceModeler(
             qos=ctx.qos,
             capacity=ctx.capacity,
@@ -184,6 +185,9 @@ class AdaptivePolicy(ProvisioningPolicy):
             min_vms=self.min_instances,
             rho_max=self.rho_max,
             rejection_tolerance=self.rejection_tolerance,
+            tracer=ctx.tracer,
+            audit=ctx.audit,
+            time_fn=(lambda e=ctx.engine: e.now) if observed else None,
         )
         provisioner = ApplicationProvisioner(
             engine=ctx.engine,
@@ -191,6 +195,7 @@ class AdaptivePolicy(ProvisioningPolicy):
             modeler=modeler,
             monitor=ctx.monitor,
             initial_instances=self.initial_instances,
+            tracer=ctx.tracer,
         )
         predictor = self.predictor_factory(ctx)
         analyzer = WorkloadAnalyzer(
@@ -203,6 +208,7 @@ class AdaptivePolicy(ProvisioningPolicy):
             monitor=ctx.monitor,
             deviation_threshold=self.deviation_threshold,
             deviation_safety=self.deviation_safety,
+            tracer=ctx.tracer,
         )
         provisioner.start()
         analyzer.start()

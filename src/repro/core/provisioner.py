@@ -12,7 +12,7 @@ the fleet implements the idle-first / graceful-drain mechanics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..cloud.fleet import ApplicationFleet
 from ..cloud.monitor import Monitor
@@ -69,6 +69,10 @@ class ApplicationProvisioner:
         default of 0 lets the analyzer's time-zero alert size the
         initial fleet, so the run's minimum-instances metric reflects
         steady off-peak operation rather than a cold-start artifact.
+    tracer:
+        Optional :class:`repro.obs.bus.TraceBus`; each actuation then
+        emits a ``scaling.actuated`` event (before/target/after), the
+        companion of the modeler's ``decision`` event.
     """
 
     def __init__(
@@ -78,6 +82,7 @@ class ApplicationProvisioner:
         modeler: PerformanceModeler,
         monitor: Monitor,
         initial_instances: int = 0,
+        tracer: Optional[object] = None,
     ) -> None:
         if initial_instances < 0:
             raise ConfigurationError(
@@ -88,6 +93,7 @@ class ApplicationProvisioner:
         self._modeler = modeler
         self._monitor = monitor
         self.initial_instances = int(initial_instances)
+        self._tracer = tracer
         #: Actuation log in time order.
         self.actions: List[ScalingAction] = []
 
@@ -112,6 +118,16 @@ class ApplicationProvisioner:
         before = self._fleet.serving_count
         decision = self._modeler.decide(predicted_rate, tm, max(1, before))
         after = self._fleet.scale_to(decision.instances)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "scaling.actuated",
+                self._engine.now,
+                predicted_rate=predicted_rate,
+                before=before,
+                target=decision.instances,
+                after=after,
+                service_time=tm,
+            )
         self.actions.append(
             ScalingAction(
                 time=self._engine.now,

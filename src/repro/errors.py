@@ -19,6 +19,7 @@ __all__ = [
     "QueueingModelError",
     "WorkloadError",
     "PredictionError",
+    "TraceSchemaError",
 ]
 
 
@@ -80,3 +81,11 @@ class WorkloadError(ReproError):
 
 class PredictionError(ReproError):
     """A predictor could not produce an estimate (e.g. no history)."""
+
+
+class TraceSchemaError(ReproError):
+    """A trace event (or JSONL trace file) violates the event schema.
+
+    Raised by :mod:`repro.obs.schema` validation; the message carries
+    the event position / file line and the offending field.
+    """

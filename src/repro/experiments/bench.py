@@ -30,6 +30,7 @@ __all__ = [
     "decision_latency",
     "window_sampling",
     "parallel_runner",
+    "trace_overhead",
     "kernel_bench",
 ]
 
@@ -149,6 +150,44 @@ def parallel_runner(
     }
 
 
+def trace_overhead(
+    scale: float = 2000.0,
+    horizon: float = 6 * 3600.0,
+    repeats: int = 2,
+) -> Dict[str, Any]:
+    """Wall-clock of one adaptive web run untraced vs ring-buffer traced.
+
+    Quantifies the cost of the observability layer: the ``disabled``
+    case is the default ``tracer=None`` wiring (the <3% overhead
+    budget), the ``enabled`` case routes every event type into an
+    in-memory ring buffer (the worst case — JSONL filtering drops the
+    per-request firehose by default).
+    """
+    from ..obs.bus import RingBufferSink, TraceBus
+    from .runner import run_policy
+
+    scenario = web_scenario(scale=scale, horizon=horizon)
+
+    def untraced() -> None:
+        run_policy(scenario, AdaptivePolicy(), seed=0)
+
+    emitted = [0]
+
+    def traced() -> None:
+        bus = TraceBus(RingBufferSink())
+        run_policy(scenario, AdaptivePolicy(), seed=0, trace=bus)
+        emitted[0] = bus.emitted
+
+    off = _best_of(untraced, repeats)
+    on = _best_of(traced, repeats)
+    return {
+        "disabled_seconds": off,
+        "enabled_seconds": on,
+        "overhead_ratio": on / off if off > 0 else float("inf"),
+        "events_emitted": emitted[0],
+    }
+
+
 def kernel_bench(
     events: int = 50_000,
     workers: Optional[int] = None,
@@ -161,6 +200,11 @@ def kernel_bench(
         "engine_throughput": engine_throughput(events=events),
         "decision_latency": decision_latency(iterations=50 if quick else 200),
         "window_sampling": window_sampling(repeats=2 if quick else 5),
+        "trace_overhead": trace_overhead(
+            scale=4000.0 if quick else 2000.0,
+            horizon=(2 if quick else 6) * 3600.0,
+            repeats=1 if quick else 2,
+        ),
     }
     if workers is not None and workers > 1:
         report["parallel_runner"] = parallel_runner(

@@ -8,14 +8,23 @@ Installed as ``repro-experiments``::
     repro-experiments run fig5 --workers 4
     repro-experiments run fig5-fluid
     repro-experiments run all --quick
+    repro-experiments run fig5 --quick --trace traces/
+    repro-experiments trace traces/ --validate --timeline 20
     repro-experiments bench --workers 4
 
 Each experiment prints its table to stdout; ``--out DIR`` additionally
 writes ``<experiment>.md`` (markdown table) and ``<experiment>.csv``.
-DES experiments also print a perf summary — per-replication wall-clock
-and Algorithm-1 decision-cache hits/misses — so performance regressions
-show up in every run, not only in the benchmark suite.  ``bench`` emits
-the kernel micro-benchmarks as JSON.
+DES experiments also print a perf summary — per-replication wall-clock,
+engine event/compaction counts and Algorithm-1 decision-cache
+hits/misses — so performance regressions show up in every run, not only
+in the benchmark suite.  ``bench`` emits the kernel micro-benchmarks as
+JSON.
+
+``run --trace DIR`` writes one JSONL trace per (policy, seed)
+replication (control-plane events only unless ``--trace-requests``);
+``trace`` renders such files back into a summary table, a timeline, or
+a narrated explanation of one Algorithm-1 decision, and validates them
+against the event schema.
 """
 
 from __future__ import annotations
@@ -27,7 +36,11 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..errors import TraceSchemaError
 from ..metrics.report import format_markdown_table, format_table
+from ..obs.bus import TraceConfig
+from ..obs.render import explain_decision, render_timeline, trace_summary_table
+from ..obs.schema import CONTROL_EVENTS, load_trace, validate_trace
 from ..sim.calendar import SECONDS_PER_DAY, SECONDS_PER_WEEK
 from . import figures
 from .runner import RunResult
@@ -56,9 +69,18 @@ def _parse_seeds(spec: str) -> List[int]:
         raise SystemExit(f"bad --seeds value {spec!r}: {exc}")
 
 
+def _trace_config(args: argparse.Namespace) -> Optional[TraceConfig]:
+    """Build the run subcommand's TraceConfig (None = tracing off)."""
+    if not getattr(args, "trace", None):
+        return None
+    events = None if args.trace_requests else tuple(sorted(CONTROL_EVENTS))
+    return TraceConfig(sink="jsonl", path=args.trace, events=events)
+
+
 def _build(experiment: str, args: argparse.Namespace) -> "figures.FigureData":
     seeds = _parse_seeds(args.seeds)
     quick = args.quick
+    trace = _trace_config(args)
     if experiment == "table2":
         return figures.table2_data()
     if experiment == "fig3":
@@ -68,10 +90,14 @@ def _build(experiment: str, args: argparse.Namespace) -> "figures.FigureData":
     if experiment == "fig5":
         horizon = SECONDS_PER_DAY if quick else SECONDS_PER_WEEK
         return figures.fig5_data(
-            scale=args.scale, seeds=seeds, horizon=horizon, workers=args.workers
+            scale=args.scale,
+            seeds=seeds,
+            horizon=horizon,
+            workers=args.workers,
+            trace=trace,
         )
     if experiment == "fig6":
-        return figures.fig6_data(seeds=seeds, workers=args.workers)
+        return figures.fig6_data(seeds=seeds, workers=args.workers, trace=trace)
     if experiment == "fig5-fluid":
         return figures.fig5_fluid_fullscale()
     if experiment == "fig6-fluid":
@@ -95,14 +121,67 @@ def _perf_summary(data: "figures.FigureData") -> List[str]:
         walls = ", ".join(f"s{r.seed}={r.wall_seconds:.2f}s" for r in runs)
         hits = sum(r.cache_hits for r in runs)
         misses = sum(r.cache_misses for r in runs)
-        line = f"  {policy:<12s} wall [{walls}]"
+        events = sum(r.events for r in runs)
+        compactions = sum(r.compactions for r in runs)
+        line = f"  {policy:<12s} wall [{walls}]  events {events}"
+        if compactions:
+            line += f"  compactions {compactions}"
         if hits or misses:
             total = hits + misses
             line += f"  decision cache {hits}/{total} hits"
         lines.append(line)
     if lines:
-        lines.insert(0, "perf: per-replication wall-clock and Algorithm-1 decision cache")
+        lines.insert(
+            0,
+            "perf: per-replication wall-clock, engine events/compactions "
+            "and Algorithm-1 decision cache",
+        )
     return lines
+
+
+def _trace_files(path: Path) -> List[Path]:
+    """The JSONL files a ``trace`` invocation covers (sorted)."""
+    if path.is_dir():
+        files = sorted(path.glob("*.jsonl"))
+        if not files:
+            raise SystemExit(f"no .jsonl traces found in {path}")
+        return files
+    if not path.exists():
+        raise SystemExit(f"trace file not found: {path}")
+    return [path]
+
+
+def _trace_command(args: argparse.Namespace) -> int:
+    """Render/validate JSONL traces (the ``trace`` subcommand)."""
+    failures = 0
+    for trace_path in _trace_files(Path(args.path)):
+        print(f"== {trace_path} ==")
+        try:
+            events = load_trace(trace_path)
+        except TraceSchemaError as exc:
+            print(f"  unreadable trace: {exc}")
+            failures += 1
+            continue
+        if args.validate:
+            try:
+                n = validate_trace(events)
+            except TraceSchemaError as exc:
+                print(f"  INVALID: {exc}")
+                failures += 1
+                continue
+            print(f"  valid: {n} event(s) conform to the trace schema")
+        print(trace_summary_table(events, title=f"trace summary: {trace_path.name}"))
+        if args.timeline is not None:
+            for line in render_timeline(events, limit=args.timeline):
+                print(line)
+        if args.explain is not None:
+            try:
+                print(explain_decision(events, index=args.explain))
+            except IndexError as exc:
+                print(f"  {exc}")
+                failures += 1
+        print()
+    return 1 if failures else 0
 
 
 def _write_outputs(data: "figures.FigureData", out_dir: Path) -> None:
@@ -138,6 +217,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=1,
         help="process-pool size for DES replications (default 1 = sequential)",
     )
+    runp.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write one JSONL trace per DES replication (a directory, or a "
+        "path with {scenario}/{policy}/{seed} placeholders)",
+    )
+    runp.add_argument(
+        "--trace-requests",
+        action="store_true",
+        help="also trace per-request events (admitted/rejected/completed); "
+        "default traces control-plane events only",
+    )
+    tracep = sub.add_parser("trace", help="render/validate a JSONL trace")
+    tracep.add_argument("path", help="a .jsonl trace file, or a directory of them")
+    tracep.add_argument(
+        "--validate",
+        action="store_true",
+        help="check every event against the trace schema (exit 1 on failure)",
+    )
+    tracep.add_argument(
+        "--timeline",
+        type=int,
+        default=None,
+        metavar="N",
+        help="print a human-readable timeline of the first N events (0 = all)",
+    )
+    tracep.add_argument(
+        "--explain",
+        type=int,
+        default=None,
+        metavar="I",
+        help="narrate Algorithm-1 decision #I recorded in the trace",
+    )
     benchp = sub.add_parser("bench", help="kernel micro-benchmarks, emitted as JSON")
     benchp.add_argument("--events", type=int, default=50_000, help="chained events for the engine benchmark")
     benchp.add_argument(
@@ -154,6 +267,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for eid, desc in available_experiments().items():
             print(f"{eid:12s} {desc}")
         return 0
+
+    if args.command == "trace":
+        return _trace_command(args)
 
     if args.command == "bench":
         from .bench import kernel_bench

@@ -233,6 +233,7 @@ def policy_comparison(
     experiment_id: str = "policy-comparison",
     title: str = "",
     workers: int = 1,
+    trace: Optional[object] = None,
 ) -> FigureData:
     """Run every policy over every seed and build the four-panel table.
 
@@ -240,7 +241,10 @@ def policy_comparison(
     (a) min/max instances, (b) rejection & utilization rates,
     (c) VM hours, (d) mean response time ± σ.  ``workers > 1``
     dispatches each policy's replications to a process pool (results
-    are bit-identical to the sequential path).
+    are bit-identical to the sequential path).  ``trace`` (``None`` or
+    a :class:`~repro.obs.bus.TraceConfig`) is forwarded to every
+    replication; point its path at a directory so each (policy, seed)
+    run writes its own JSONL file.
     """
     headers = [
         "policy",
@@ -256,7 +260,9 @@ def policy_comparison(
     rows: List[List[object]] = []
     all_results: Dict[str, List[RunResult]] = {}
     for factory in policies:
-        results = run_replications(scenario, factory, seeds=seeds, workers=workers)
+        results = run_replications(
+            scenario, factory, seeds=seeds, workers=workers, trace=trace
+        )
         name = results[0].policy
         all_results[name] = results
         rows.append(
@@ -298,6 +304,7 @@ def fig5_data(
     horizon: float = SECONDS_PER_WEEK,
     static_sizes: Sequence[int] = WEB_STATIC_SIZES,
     workers: int = 1,
+    trace: Optional[object] = None,
 ) -> FigureData:
     """Figure 5 — web scenario, Adaptive vs Static-{50..150}.
 
@@ -312,6 +319,7 @@ def fig5_data(
         experiment_id="fig5",
         title="Figure 5: web scenario (Wikipedia workload), one week",
         workers=workers,
+        trace=trace,
     )
     return data
 
@@ -321,6 +329,7 @@ def fig6_data(
     horizon: float = SECONDS_PER_DAY,
     static_sizes: Sequence[int] = SCI_STATIC_SIZES,
     workers: int = 1,
+    trace: Optional[object] = None,
 ) -> FigureData:
     """Figure 6 — scientific scenario at full paper scale, one day."""
     scenario = scientific_scenario(horizon=horizon)
@@ -336,6 +345,7 @@ def fig6_data(
         experiment_id="fig6",
         title="Figure 6: scientific scenario (Grid Workloads Archive BoT), one day",
         workers=workers,
+        trace=trace,
     )
 
 

@@ -6,29 +6,41 @@ alone, so N seeds can run on N cores with zero shared state.  This
 module gives :func:`~repro.experiments.runner.run_replications` that
 backend:
 
-* work items are picklable ``(scenario, policy_spec, seed)`` triples —
-  :class:`PolicySpec` is the picklable stand-in for the ad-hoc lambda
-  factories used in scripts;
+* work items are picklable ``(scenario, policy_spec, seed, trace)``
+  tuples — :class:`PolicySpec` is the picklable stand-in for the ad-hoc
+  lambda factories used in scripts, and ``trace`` is ``None`` or a
+  :class:`~repro.obs.bus.TraceConfig` (a live bus cannot cross the
+  process boundary);
 * dispatch is chunked (``chunk_size`` seeds per pickle round-trip) and
   results come back **in seed order**;
 * replications use the exact same per-seed spawned random streams as
   the sequential path, so results are bit-identical either way (the
   common-random-numbers discipline is a property of the seed, not of
-  the execution order) — only the ``wall_seconds`` diagnostic differs;
+  the execution order) — only the ``wall_seconds`` diagnostic and the
+  ``profile`` timings differ, and both are excluded from
+  ``RunResult`` equality.  Observability counters (decision-cache
+  hits/misses, heap compactions, event counts, phase profiles) are
+  carried *inside* each pickled ``RunResult``, so nothing measured in
+  a worker process is lost when the pool shuts down;
 * the sequential path is the graceful fallback whenever the pool is
   not usable: ``workers <= 1``, an unpicklable scenario/factory, or a
-  platform refusing to fork/spawn.
+  platform refusing to fork/spawn.  Fallbacks are reported through the
+  ``repro.experiments.parallel`` logger (structured ``key=value``
+  records), not :mod:`warnings`.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-import warnings
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..core.policies import ProvisioningPolicy
+from ..obs.bus import TraceConfig
+from ..obs.log import get_logger, kv
 from .scenario import ScenarioConfig
+
+_log = get_logger(__name__)
 
 __all__ = ["PolicySpec", "default_workers", "run_replications_parallel"]
 
@@ -78,22 +90,30 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _run_task(task: Tuple[ScenarioConfig, Callable[[], ProvisioningPolicy], int]):
-    """Process-pool entry point: one replication from a picklable triple."""
-    scenario, policy_factory, seed = task
+def _run_task(
+    task: Tuple[
+        ScenarioConfig,
+        Callable[[], ProvisioningPolicy],
+        int,
+        Optional[TraceConfig],
+    ]
+):
+    """Process-pool entry point: one replication from a picklable tuple."""
+    scenario, policy_factory, seed, trace = task
     from .runner import run_policy
 
-    return run_policy(scenario, policy_factory(), seed=seed)
+    return run_policy(scenario, policy_factory(), seed=seed, trace=trace)
 
 
 def _sequential(
     scenario: ScenarioConfig,
     policy_factory: Callable[[], ProvisioningPolicy],
     seeds: Sequence[int],
+    trace: Optional[Any] = None,
 ) -> List[Any]:
     from .runner import run_policy
 
-    return [run_policy(scenario, policy_factory(), seed=s) for s in seeds]
+    return [run_policy(scenario, policy_factory(), seed=s, trace=trace) for s in seeds]
 
 
 def run_replications_parallel(
@@ -102,6 +122,7 @@ def run_replications_parallel(
     seeds: Sequence[int] = (0, 1, 2),
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    trace: Optional[Any] = None,
 ) -> List[Any]:
     """Run one replication per seed on a process pool.
 
@@ -111,37 +132,48 @@ def run_replications_parallel(
         Exactly as :func:`~repro.experiments.runner.run_replications`;
         the factory must be picklable for the pool to be used
         (:class:`PolicySpec` or any module-level callable qualifies —
-        a locally-defined lambda silently falls back to sequential,
-        with a warning).
+        a locally-defined lambda falls back to sequential, logging a
+        warning on the ``repro.experiments.parallel`` logger).
     workers:
         Pool size; ``None`` means one per CPU, ``<= 1`` forces the
         sequential path.
     chunk_size:
         Seeds per pickled dispatch; defaults to a chunking that hands
         every worker ~one chunk.
+    trace:
+        ``None`` or a :class:`~repro.obs.bus.TraceConfig`.  Each worker
+        builds (and closes) its own bus, so the config's path should
+        resolve per-run — point it at a directory or use placeholders.
+        A live :class:`~repro.obs.bus.TraceBus` is unpicklable and
+        triggers the sequential fallback.
 
     Returns
     -------
     list
         ``RunResult`` per seed, **in seed order**, bit-identical to the
-        sequential path except for the ``wall_seconds`` diagnostic.
+        sequential path except for the ``wall_seconds`` diagnostic and
+        the (equality-excluded) ``profile`` timings.
     """
     if workers is None:
         workers = default_workers()
     n_workers = min(int(workers), len(seeds)) if seeds else 1
     if n_workers <= 1:
-        return _sequential(scenario, policy_factory, seeds)
-    tasks = [(scenario, policy_factory, int(seed)) for seed in seeds]
+        return _sequential(scenario, policy_factory, seeds, trace=trace)
+    tasks = [(scenario, policy_factory, int(seed), trace) for seed in seeds]
     try:
         pickle.dumps(tasks[0])
     except Exception as exc:  # noqa: BLE001 - any pickling failure falls back
-        warnings.warn(
-            f"parallel replications need picklable work items "
-            f"(use PolicySpec instead of a lambda): {exc!r}; running sequentially",
-            RuntimeWarning,
-            stacklevel=2,
+        _log.warning(
+            "falling back to sequential replications: %s",
+            kv(
+                reason="unpicklable-work-item",
+                hint="use PolicySpec instead of a lambda (and TraceConfig, not TraceBus)",
+                scenario=scenario.name,
+                seeds=len(seeds),
+                error=repr(exc),
+            ),
         )
-        return _sequential(scenario, policy_factory, seeds)
+        return _sequential(scenario, policy_factory, seeds, trace=trace)
     if chunk_size is None:
         chunk_size = max(1, len(tasks) // n_workers)
     try:
@@ -152,9 +184,14 @@ def run_replications_parallel(
     except (OSError, ValueError, RuntimeError, ImportError) as exc:
         # Sandboxes without fork/spawn, broken pools, missing
         # multiprocessing primitives: degrade, don't die.
-        warnings.warn(
-            f"process pool unavailable ({exc!r}); running replications sequentially",
-            RuntimeWarning,
-            stacklevel=2,
+        _log.warning(
+            "falling back to sequential replications: %s",
+            kv(
+                reason="process-pool-unavailable",
+                workers=n_workers,
+                scenario=scenario.name,
+                seeds=len(seeds),
+                error=repr(exc),
+            ),
         )
-        return _sequential(scenario, policy_factory, seeds)
+        return _sequential(scenario, policy_factory, seeds, trace=trace)

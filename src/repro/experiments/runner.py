@@ -17,8 +17,8 @@ comparison benefits from).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cloud.admission import AdmissionControl
 from ..cloud.broker import WorkloadSource
@@ -29,6 +29,8 @@ from ..cloud.loadbalancer import LoadBalancer
 from ..core.context import SimulationContext
 from ..core.policies import ProvisioningPolicy
 from ..metrics.collector import MetricsCollector
+from ..obs.bus import TraceBus, TraceConfig
+from ..obs.profile import RunProfile
 from ..sim.engine import Engine
 from ..sim.rng import RandomStreams
 from .scenario import ScenarioConfig
@@ -73,6 +75,14 @@ class RunResult:
     cache_hits, cache_misses:
         Algorithm-1 decision-cache counters of the run's modeler
         (both 0 for policies without one, e.g. Static-N).
+    compactions:
+        Heap compactions the engine performed (deterministic — lazy
+        cancellations are a function of the run, not the wall clock).
+    profile:
+        :meth:`repro.obs.profile.RunProfile.to_dict` snapshot of the
+        run's phase wall-clock and event counters.  Excluded from
+        equality (``compare=False``): timings are nondeterministic, so
+        sequential and parallel replications still compare equal.
     """
 
     scenario: str
@@ -98,16 +108,25 @@ class RunResult:
     fleet_series: Tuple[Tuple[float, int], ...] = ()
     cache_hits: int = 0
     cache_misses: int = 0
+    compactions: int = 0
+    profile: Dict[str, Dict[str, float]] = field(default_factory=dict, compare=False)
 
 
 def build_context(
     scenario: ScenarioConfig,
     seed: int = 0,
     balancer: Optional[LoadBalancer] = None,
+    tracer: Optional[TraceBus] = None,
+    audit: Optional[object] = None,
 ) -> SimulationContext:
-    """Wire the data plane of one replication (no policy attached)."""
+    """Wire the data plane of one replication (no policy attached).
+
+    ``tracer`` (a :class:`~repro.obs.bus.TraceBus`) and ``audit`` (a
+    :class:`~repro.obs.audit.DecisionAuditLog`) are threaded into every
+    instrumented component; both default to ``None`` — tracing off.
+    """
     streams = RandomStreams(seed)
-    engine = Engine()
+    engine = Engine(tracer=tracer)
     workload = scenario.workload
     metrics = MetricsCollector(
         qos_response_time=scenario.qos.max_response_time,
@@ -123,6 +142,7 @@ def build_context(
         metrics=metrics,
         default_service_time=workload.mean_service_time,
         rate_sample_interval=scenario.rate_sample_interval,
+        tracer=tracer,
     )
     sampler = workload.service_sampler(streams.get("service"))
     capacity = scenario.capacity
@@ -135,14 +155,18 @@ def build_context(
         capacity=capacity,
         balancer=balancer,
         boot_delay=scenario.boot_delay,
+        tracer=tracer,
     )
-    admission = AdmissionControl(fleet, monitor, count_arrivals=scenario.count_arrivals)
+    admission = AdmissionControl(
+        fleet, monitor, count_arrivals=scenario.count_arrivals, tracer=tracer
+    )
     source = WorkloadSource(
         engine=engine,
         workload=workload,
         rng=streams.get("arrivals"),
         admission=admission,
         horizon=scenario.horizon,
+        tracer=tracer,
     )
     return SimulationContext(
         engine=engine,
@@ -157,6 +181,8 @@ def build_context(
         admission=admission,
         source=source,
         horizon=scenario.horizon,
+        tracer=tracer,
+        audit=audit,
     )
 
 
@@ -165,46 +191,96 @@ def run_policy(
     policy: ProvisioningPolicy,
     seed: int = 0,
     balancer: Optional[LoadBalancer] = None,
+    trace: Optional[Union[TraceConfig, TraceBus]] = None,
+    audit: Optional[object] = None,
 ) -> RunResult:
-    """Run one replication of (scenario, policy) and collect metrics."""
-    ctx = build_context(scenario, seed, balancer)
-    policy.attach(ctx)
-    ctx.source.start()
-    t_start = time.perf_counter()
-    ctx.engine.run(until=scenario.horizon)
-    wall = time.perf_counter() - t_start
-    now = ctx.engine.now
-    ctx.metrics.finalize(now, ctx.datacenter.vm_hours(now))
-    m = ctx.metrics
-    scale = scenario.scale
-    modeler = getattr(ctx.provisioner, "modeler", None)
-    cache_hits = modeler.cache_hits if modeler is not None else 0
-    cache_misses = modeler.cache_misses if modeler is not None else 0
-    return RunResult(
-        scenario=scenario.name,
-        policy=policy.name,
-        seed=seed,
-        total_requests=m.total_requests,
-        accepted=m.accepted,
-        completed=m.completed,
-        rejected=m.rejected,
-        rejection_rate=m.rejection_rate,
-        mean_response_time=m.mean_response_time / scale,
-        response_time_std=m.response_time_std / scale,
-        qos_violations=m.violations,
-        min_instances=m.min_instances if m.min_instances is not None else 0,
-        max_instances=m.max_instances if m.max_instances is not None else 0,
-        vm_hours=m.vm_hours,
-        core_hours=ctx.datacenter.core_hours(now),
-        failures=m.failures,
-        lost_requests=m.lost_requests,
-        utilization=m.utilization,
-        wall_seconds=wall,
-        events=ctx.engine.events_fired,
-        fleet_series=tuple(m.fleet_series),
-        cache_hits=cache_hits,
-        cache_misses=cache_misses,
-    )
+    """Run one replication of (scenario, policy) and collect metrics.
+
+    Parameters
+    ----------
+    trace:
+        ``None`` (default) runs untraced.  A
+        :class:`~repro.obs.bus.TraceConfig` builds (and closes) a
+        per-run bus — this is the picklable form the parallel path
+        needs.  A ready :class:`~repro.obs.bus.TraceBus` is used as-is
+        and left open, so callers can inspect an in-memory ring buffer
+        after the run.
+    audit:
+        Optional :class:`~repro.obs.audit.DecisionAuditLog` capturing
+        every Algorithm-1 invocation of this run.
+    """
+    profile = RunProfile()
+    if isinstance(trace, TraceConfig):
+        tracer: Optional[TraceBus] = trace.build(scenario.name, policy.name, seed)
+        owns_bus = True
+    else:
+        tracer = trace
+        owns_bus = False
+    try:
+        if tracer is not None:
+            tracer.emit(
+                "run.start",
+                0.0,
+                scenario=scenario.name,
+                policy=policy.name,
+                seed=int(seed),
+            )
+        with profile.phase("build"):
+            ctx = build_context(scenario, seed, balancer, tracer=tracer, audit=audit)
+            policy.attach(ctx)
+            ctx.source.start()
+        t_start = time.perf_counter()
+        with profile.phase("run"):
+            ctx.engine.run(until=scenario.horizon)
+        wall = time.perf_counter() - t_start
+        with profile.phase("finalize"):
+            now = ctx.engine.now
+            ctx.metrics.finalize(now, ctx.datacenter.vm_hours(now))
+            m = ctx.metrics
+            scale = scenario.scale
+            modeler = getattr(ctx.provisioner, "modeler", None)
+            cache_hits = modeler.cache_hits if modeler is not None else 0
+            cache_misses = modeler.cache_misses if modeler is not None else 0
+        profile.count("events", ctx.engine.events_fired)
+        profile.count("compactions", ctx.engine.compactions)
+        if tracer is not None:
+            tracer.emit(
+                "run.end",
+                now,
+                events=ctx.engine.events_fired,
+                compactions=ctx.engine.compactions,
+            )
+            profile.count("trace_events", tracer.emitted)
+        return RunResult(
+            scenario=scenario.name,
+            policy=policy.name,
+            seed=seed,
+            total_requests=m.total_requests,
+            accepted=m.accepted,
+            completed=m.completed,
+            rejected=m.rejected,
+            rejection_rate=m.rejection_rate,
+            mean_response_time=m.mean_response_time / scale,
+            response_time_std=m.response_time_std / scale,
+            qos_violations=m.violations,
+            min_instances=m.min_instances if m.min_instances is not None else 0,
+            max_instances=m.max_instances if m.max_instances is not None else 0,
+            vm_hours=m.vm_hours,
+            core_hours=ctx.datacenter.core_hours(now),
+            failures=m.failures,
+            lost_requests=m.lost_requests,
+            utilization=m.utilization,
+            wall_seconds=wall,
+            events=ctx.engine.events_fired,
+            fleet_series=tuple(m.fleet_series),
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            compactions=ctx.engine.compactions,
+            profile=profile.to_dict(),
+        )
+    finally:
+        if owns_bus and tracer is not None:
+            tracer.close()
 
 
 def run_replications(
@@ -213,6 +289,7 @@ def run_replications(
     seeds: Sequence[int] = (0, 1, 2),
     workers: int = 1,
     chunk_size: Optional[int] = None,
+    trace: Optional[Union[TraceConfig, TraceBus]] = None,
 ) -> List[RunResult]:
     """Run several replications with independent seeds.
 
@@ -229,14 +306,27 @@ def run_replications(
         ``wall_seconds`` diagnostic.  The factory must then be
         picklable — use :class:`~repro.experiments.parallel.PolicySpec`
         instead of a lambda; unpicklable factories fall back to the
-        sequential path with a warning.
+        sequential path with a log warning.
     chunk_size:
         Seeds per pool dispatch (parallel path only).
+    trace:
+        Forwarded to every :func:`run_policy` call.  With
+        ``workers > 1`` this must be a picklable
+        :class:`~repro.obs.bus.TraceConfig` whose path resolves to a
+        *directory* (or contains ``{seed}``-style placeholders) so each
+        replication writes its own JSONL file; a live
+        :class:`~repro.obs.bus.TraceBus` cannot cross the process
+        boundary and triggers the sequential fallback.
     """
     if workers is not None and workers > 1:
         from .parallel import run_replications_parallel
 
         return run_replications_parallel(
-            scenario, policy_factory, seeds, workers=workers, chunk_size=chunk_size
+            scenario,
+            policy_factory,
+            seeds,
+            workers=workers,
+            chunk_size=chunk_size,
+            trace=trace,
         )
-    return [run_policy(scenario, policy_factory(), seed=s) for s in seeds]
+    return [run_policy(scenario, policy_factory(), seed=s, trace=trace) for s in seeds]

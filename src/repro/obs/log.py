@@ -1,0 +1,43 @@
+"""Structured logging for the repro library.
+
+All library loggers live under the ``repro`` namespace with a
+:class:`logging.NullHandler` on the root, so importing the library
+never configures (or spams) the host application's logging — the
+standard library-logging etiquette.  :func:`get_logger` hands out
+namespaced loggers; :func:`kv` formats structured key=value suffixes
+so operational messages (pool fallbacks, trace-file locations) stay
+grep-able in both plain logs and aggregators.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+__all__ = ["get_logger", "kv"]
+
+_ROOT = "repro"
+
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = _ROOT) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``get_logger(__name__)`` inside the package returns the module's
+    own logger; arbitrary names are prefixed into the namespace so all
+    library output can be enabled with one
+    ``logging.getLogger("repro").setLevel(...)``.
+    """
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def kv(**fields: Any) -> str:
+    """Render ``key=value`` pairs for structured log messages.
+
+    >>> kv(reason="unpicklable", workers=4)
+    'reason=unpicklable workers=4'
+    """
+    return " ".join(f"{k}={v!r}" if isinstance(v, str) and " " in v else f"{k}={v}" for k, v in fields.items())

@@ -64,7 +64,7 @@ class Engine:
     #: list costs more bookkeeping than the dead entries ever will.
     COMPACT_MIN_SIZE = 1024
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, tracer: Optional[object] = None) -> None:
         self._now = float(start_time)
         self._heap: List[EventHandle] = []
         self._seq = 0
@@ -74,6 +74,10 @@ class Engine:
         self._cancelled = 0
         #: Number of heap compactions performed (observability).
         self.compactions = 0
+        #: Optional :class:`repro.obs.bus.TraceBus`.  Only the cold
+        #: paths (compaction) emit — the inner event loop is untouched
+        #: so tracing can never slow an untraced run.
+        self.tracer = tracer
         #: Hooks invoked (with the engine) after a clean run completes.
         self.at_end: List[Callable[["Engine"], None]] = []
 
@@ -201,10 +205,18 @@ class Engine:
         running loop stay valid.
         """
         heap = self._heap
+        before = len(heap)
         heap[:] = [e for e in heap if not e[CANCELLED]]
         _heapify(heap)
         self._cancelled = 0
         self.compactions += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "engine.compacted",
+                self._now,
+                removed=before - len(heap),
+                remaining=len(heap),
+            )
 
     # ------------------------------------------------------------------
     # execution

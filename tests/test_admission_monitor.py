@@ -101,6 +101,76 @@ def test_monitor_rate_sampling():
     assert m.observed_rate() == 0.0
 
 
+def test_monitor_ewma_exact_weighting():
+    # First completion replaces the default outright; every later one
+    # moves the estimate by alpha * (observation - estimate).
+    engine = Engine()
+    m = Monitor(engine, MetricsCollector(), default_service_time=9.0, ewma_alpha=0.25)
+    m.record_response(2.0, 2.0)
+    assert m.mean_service_time() == 2.0
+    m.record_response(4.0, 4.0)
+    assert m.mean_service_time() == pytest.approx(2.0 + 0.25 * (4.0 - 2.0))
+    m.record_response(1.0, 1.0)
+    assert m.mean_service_time() == pytest.approx(2.5 + 0.25 * (1.0 - 2.5))
+
+
+def test_monitor_samples_on_exact_cadence():
+    engine = Engine()
+    m = Monitor(
+        engine, MetricsCollector(), default_service_time=1.0, rate_sample_interval=7.5
+    )
+    engine.run(until=38.0)
+    assert [t for t, _ in m.rate_history] == [7.5, 15.0, 22.5, 30.0, 37.5]
+
+
+def test_monitor_arrivals_attributed_to_their_window():
+    engine = Engine()
+    m = Monitor(
+        engine, MetricsCollector(), default_service_time=1.0, rate_sample_interval=10.0
+    )
+    for t in (1.0, 2.0, 3.0, 12.0):
+        engine.schedule_at(t, m.record_arrival)
+    engine.run(until=25.0)
+    assert [(t, r) for t, r in m.rate_history] == [(10.0, 0.3), (20.0, 0.1)]
+
+
+def test_monitor_rate_history_bounded():
+    engine = Engine()
+    m = Monitor(
+        engine,
+        MetricsCollector(),
+        default_service_time=1.0,
+        rate_sample_interval=10.0,
+        history_length=4,
+    )
+    engine.run(until=85.0)
+    assert len(m.rate_history) == 4
+    assert m.rate_history[0][0] == 50.0  # oldest samples evicted
+
+
+def test_monitor_emits_trace_events_when_traced():
+    from repro.obs import RingBufferSink, TraceBus
+
+    engine = Engine()
+    sink = RingBufferSink()
+    m = Monitor(
+        engine,
+        MetricsCollector(),
+        default_service_time=1.0,
+        rate_sample_interval=10.0,
+        tracer=TraceBus(sink),
+    )
+    engine.schedule_at(4.0, lambda: m.record_response(0.5, 0.4))
+    engine.run(until=15.0)
+    completed = sink.of_type("request.completed")
+    assert len(completed) == 1
+    assert completed[0]["t"] == 4.0
+    assert completed[0]["service_time"] == 0.4
+    (sample,) = sink.of_type("monitor.sample")
+    assert sample["t"] == 10.0
+    assert sample["service_time_estimate"] == m.mean_service_time()
+
+
 def test_monitor_observed_rate_none_without_sampling():
     engine = Engine()
     m = Monitor(engine, MetricsCollector(), default_service_time=1.0)

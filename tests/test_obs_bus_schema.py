@@ -1,0 +1,179 @@
+"""Unit tests of the trace bus, sinks, config, and event schema."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError, TraceSchemaError
+from repro.obs import (
+    CONTROL_EVENTS,
+    EVENT_TYPES,
+    JsonlSink,
+    NullSink,
+    REQUEST_EVENTS,
+    RingBufferSink,
+    TraceBus,
+    TraceConfig,
+    iter_trace,
+    load_trace,
+    validate_event,
+    validate_trace,
+)
+
+
+# ----------------------------------------------------------------------
+# bus + sinks
+# ----------------------------------------------------------------------
+def test_bus_emits_to_ring_buffer_in_order():
+    sink = RingBufferSink()
+    bus = TraceBus(sink)
+    bus.emit("request.admitted", 1.0)
+    bus.emit("request.rejected", 2.0)
+    assert bus.emitted == 2
+    assert bus.dropped == 0
+    assert [e["type"] for e in sink.events] == ["request.admitted", "request.rejected"]
+    assert [e["t"] for e in sink.events] == [1.0, 2.0]
+    assert len(sink) == 2
+    assert [e["t"] for e in sink.of_type("request.rejected")] == [2.0]
+
+
+def test_bus_type_filter_drops_before_allocation():
+    sink = RingBufferSink()
+    bus = TraceBus(sink, events={"vm.created"})
+    bus.emit("request.admitted", 0.0)
+    bus.emit("vm.created", 1.0, instance=0, booting=False)
+    assert bus.emitted == 1
+    assert bus.dropped == 1
+    assert len(sink) == 1
+
+
+def test_bus_rejects_unknown_filter_types():
+    with pytest.raises(ConfigurationError):
+        TraceBus(NullSink(), events={"no.such.event"})
+
+
+def test_ring_buffer_bounded():
+    sink = RingBufferSink(maxlen=3)
+    bus = TraceBus(sink)
+    for i in range(5):
+        bus.emit("request.admitted", float(i))
+    assert [e["t"] for e in sink.events] == [2.0, 3.0, 4.0]
+    with pytest.raises(ConfigurationError):
+        RingBufferSink(maxlen=0)
+
+
+def test_null_sink_counts_only():
+    sink = NullSink()
+    bus = TraceBus(sink)
+    bus.emit("request.admitted", 0.0)
+    assert sink.written == 1
+
+
+def test_jsonl_sink_round_trips(tmp_path):
+    path = tmp_path / "sub" / "trace.jsonl"
+    sink = JsonlSink(path)
+    bus = TraceBus(sink)
+    bus.emit("vm.created", 3.5, instance=7, booting=True)
+    bus.close()
+    events = load_trace(path)
+    assert events == [{"t": 3.5, "type": "vm.created", "instance": 7, "booting": True}]
+
+
+# ----------------------------------------------------------------------
+# TraceConfig
+# ----------------------------------------------------------------------
+def test_trace_config_validation():
+    with pytest.raises(ConfigurationError):
+        TraceConfig(sink="bogus")
+    with pytest.raises(ConfigurationError):
+        TraceConfig(sink="jsonl", path=None)
+    TraceConfig(sink="memory")  # no path needed
+
+
+def test_trace_config_resolves_directory_per_run(tmp_path):
+    cfg = TraceConfig(sink="jsonl", path=str(tmp_path) + "/")
+    p = cfg.resolve_path("web", "Adaptive", 3)
+    assert p == tmp_path / "web-Adaptive-s3.jsonl"
+
+
+def test_trace_config_sanitizes_scenario_separators(tmp_path):
+    # Rate-scaled scenarios are named like "web@1/5000" — the slash must
+    # not nest a surprise subdirectory.
+    cfg = TraceConfig(sink="jsonl", path=str(tmp_path) + "/")
+    p = cfg.resolve_path("web@1/5000", "Static-50", 0)
+    assert p.parent == tmp_path
+    assert p.name == "web@1_5000-Static-50-s0.jsonl"
+
+
+def test_trace_config_placeholders(tmp_path):
+    cfg = TraceConfig(sink="jsonl", path=str(tmp_path / "{policy}-{seed}.jsonl"))
+    assert cfg.resolve_path("web", "Adaptive", 2).name == "Adaptive-2.jsonl"
+
+
+def test_trace_config_is_picklable_and_builds_buses(tmp_path):
+    cfg = TraceConfig(sink="jsonl", path=str(tmp_path) + "/", events=("vm.created",))
+    clone = pickle.loads(pickle.dumps(cfg))
+    bus = clone.build("web", "Adaptive", 0)
+    bus.emit("vm.created", 0.0, instance=0, booting=False)
+    bus.emit("request.admitted", 0.0)  # filtered
+    bus.close()
+    events = load_trace(tmp_path / "web-Adaptive-s0.jsonl")
+    assert [e["type"] for e in events] == ["vm.created"]
+
+
+# ----------------------------------------------------------------------
+# schema
+# ----------------------------------------------------------------------
+def test_request_and_control_events_partition_the_registry():
+    assert REQUEST_EVENTS <= set(EVENT_TYPES)
+    assert CONTROL_EVENTS | REQUEST_EVENTS == set(EVENT_TYPES)
+    assert not CONTROL_EVENTS & REQUEST_EVENTS
+
+
+def test_validate_event_accepts_extra_fields():
+    validate_event(
+        {
+            "t": 1.0,
+            "type": "prediction.issued",
+            "rate": 2.0,
+            "window_start": 0.0,
+            "window_end": 10.0,
+            "corrective": True,
+            "observed": 2.5,  # extra field is fine
+        }
+    )
+
+
+@pytest.mark.parametrize(
+    "event, fragment",
+    [
+        ({"type": "nope", "t": 0.0}, "unknown event type"),
+        ({"t": 0.0}, "no string 'type'"),
+        ({"type": "vm.draining", "t": -1.0, "instance": 0}, "finite and >= 0"),
+        ({"type": "vm.draining", "t": 0.0}, "missing required field"),
+        # bool masquerading as int must be rejected
+        ({"type": "vm.draining", "t": 0.0, "instance": True}, "expected int"),
+        ({"type": "vm.created", "t": 0.0, "instance": 0, "booting": 1}, "booting"),
+    ],
+)
+def test_validate_event_rejects(event, fragment):
+    with pytest.raises(TraceSchemaError, match=fragment):
+        validate_event(event)
+
+
+def test_validate_trace_reports_position():
+    good = {"t": 0.0, "type": "request.admitted"}
+    bad = {"t": 0.0, "type": "mystery"}
+    assert validate_trace([good, good]) == 2
+    with pytest.raises(TraceSchemaError, match="event #1"):
+        validate_trace([good, bad])
+
+
+def test_iter_trace_reports_bad_json_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"t": 0.0, "type": "request.admitted"}) + "\n{oops\n")
+    with pytest.raises(TraceSchemaError, match=":2:"):
+        list(iter_trace(path))

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import logging
 import pickle
 
 import pytest
@@ -67,13 +68,21 @@ def test_chunk_size_does_not_change_results():
     assert [strip_wall(r) for r in a] == [strip_wall(r) for r in b]
 
 
-def test_unpicklable_factory_falls_back_sequentially_with_warning():
+def test_unpicklable_factory_falls_back_sequentially_with_log_warning(caplog):
     sc = small_scenario(track_fleet_series=False)
-    with pytest.warns(RuntimeWarning, match="picklable"):
+    with caplog.at_level(logging.WARNING, logger="repro.experiments.parallel"):
         results = run_replications_parallel(
             sc, lambda: StaticPolicy(10), seeds=(0, 1), workers=2
         )
     assert [r.seed for r in results] == [0, 1]
+    records = [
+        r for r in caplog.records if r.name == "repro.experiments.parallel"
+    ]
+    assert len(records) == 1
+    assert records[0].levelno == logging.WARNING
+    message = records[0].getMessage()
+    assert "reason=unpicklable-work-item" in message
+    assert "PolicySpec" in message
 
 
 def test_workers_one_is_plain_sequential_no_pool():
