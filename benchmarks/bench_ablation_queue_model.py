@@ -11,6 +11,7 @@ smaller fleet at equal (zero) rejection in the low-variability regime.
 from __future__ import annotations
 
 from repro.core import PerformanceModeler, QoSTarget
+from repro.core.controlplane import ControlPlane, RecordingActuator
 from repro.metrics import format_table
 from repro.prediction import ModelInformedPredictor
 from repro.queueing import MD1KQueue, MM1KQueue
@@ -27,14 +28,16 @@ def run_models() -> dict:
         modeler = PerformanceModeler(
             qos=qos, capacity=2, max_vms=8000, instance_model=instance_model
         )
-        fluid = FluidSimulator(w, qos, dt=60.0)
-        results[name] = fluid.run_adaptive(
-            ModelInformedPredictor(w, mode="max"),
-            modeler,
-            horizon=SECONDS_PER_WEEK,
+        control = ControlPlane(
+            modeler=modeler,
+            actuator=RecordingActuator(0, max_instances=8000),
+            service_time_fn=lambda st=w.mean_service_time: st,
+            predictor=ModelInformedPredictor(w, mode="max"),
             update_interval=900.0,
             lead_time=60.0,
         )
+        fluid = FluidSimulator(w, qos, dt=60.0)
+        results[name] = fluid.run_adaptive(control, horizon=SECONDS_PER_WEEK)
     return results
 
 

@@ -10,9 +10,8 @@ with the fluid engine — the control plane is the real Algorithm 1.
 
 from __future__ import annotations
 
-from repro.core import PerformanceModeler, QoSTarget
+from repro.core import AdaptivePolicy, QoSTarget
 from repro.metrics import format_table
-from repro.prediction import ModelInformedPredictor
 from repro.sim.calendar import SECONDS_PER_WEEK
 from repro.sim.fluid import FluidSimulator
 from repro.workloads import WebWorkload
@@ -26,15 +25,11 @@ def run_sweep() -> dict:
     for u_min in THRESHOLDS:
         rho_max = min(0.97, u_min + 0.05)
         qos = QoSTarget(max_response_time=0.250, min_utilization=u_min)
-        modeler = PerformanceModeler(qos=qos, capacity=2, max_vms=8000, rho_max=rho_max)
-        fluid = FluidSimulator(w, qos, dt=60.0)
-        results[u_min] = fluid.run_adaptive(
-            ModelInformedPredictor(w, mode="max"),
-            modeler,
-            horizon=SECONDS_PER_WEEK,
-            update_interval=900.0,
-            lead_time=60.0,
+        control = AdaptivePolicy(rho_max=rho_max).control_plane(
+            w, qos, capacity=2, max_vms=8000
         )
+        fluid = FluidSimulator(w, qos, dt=60.0)
+        results[u_min] = fluid.run_adaptive(control, horizon=SECONDS_PER_WEEK)
     return results
 
 

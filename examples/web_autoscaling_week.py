@@ -2,11 +2,12 @@
 """Full-week web autoscaling at paper scale — via the fluid engine.
 
 The paper's web evaluation pushes ≈ 500 million requests through one
-simulated week.  The fluid engine replays the *identical* control plane
-(analyzer cadence + Algorithm 1) analytically, so the full-scale
-experiment runs in well under a second.  This example regenerates the
-paper's headline numbers and prints the adaptive fleet trajectory hour
-by hour for the first two days.
+simulated week.  The fluid backend replays the *identical* control
+plane (analyzer cadence + Algorithm 1) analytically, so the full-scale
+experiment runs in well under a second — same ``run_policy`` entry
+point as the DES, just ``backend="fluid"``.  This example regenerates
+the paper's headline numbers and prints the adaptive fleet trajectory
+hour by hour for the first two days.
 
 Usage::
 
@@ -17,28 +18,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import PerformanceModeler, QoSTarget
+from repro.core import AdaptivePolicy, StaticPolicy
+from repro.experiments import run_policy, web_scenario
 from repro.metrics import format_table
-from repro.prediction import ModelInformedPredictor
-from repro.sim.calendar import SECONDS_PER_WEEK, hms
-from repro.sim.fluid import FluidSimulator
-from repro.workloads import WebWorkload
+from repro.sim.calendar import hms
 
 
 def main() -> None:
-    workload = WebWorkload()
-    qos = QoSTarget(max_response_time=0.250, min_utilization=0.80)
-    fluid = FluidSimulator(workload, qos, dt=60.0)
-    modeler = PerformanceModeler(qos=qos, capacity=2, max_vms=8000)
+    scenario = web_scenario()  # full paper scale, one week
+    workload = scenario.workload
 
-    adaptive = fluid.run_adaptive(
-        ModelInformedPredictor(workload, mode="max"),
-        modeler,
-        horizon=SECONDS_PER_WEEK,
-        update_interval=900.0,
-        lead_time=60.0,
-    )
-    static150 = fluid.run_static(150, SECONDS_PER_WEEK)
+    adaptive = run_policy(scenario, AdaptivePolicy(), backend="fluid")
+    static150 = run_policy(scenario, StaticPolicy(150), backend="fluid")
 
     rows = [
         [

@@ -23,6 +23,7 @@ True
 """
 
 from ._version import __version__
+from .backends import DESBackend, ExecutionBackend, FluidBackend, RunMetrics, resolve_backend
 from .core import (
     AdaptivePolicy,
     ApplicationProvisioner,
@@ -45,7 +46,6 @@ from .experiments import (
     web_scenario,
 )
 from .sim import Engine, RandomStreams
-from .sim.fluid import FluidResult, FluidSimulator
 from .workloads import (
     MMPPWorkload,
     PiecewiseRateWorkload,
@@ -73,7 +73,13 @@ __all__ = [
     "Engine",
     "RandomStreams",
     "FluidSimulator",
-    "FluidResult",
+    "FluidAggregates",
+    # backends
+    "ExecutionBackend",
+    "DESBackend",
+    "FluidBackend",
+    "RunMetrics",
+    "resolve_backend",
     # workloads
     "Workload",
     "WebWorkload",
@@ -91,3 +97,15 @@ __all__ = [
     "PolicySpec",
     "RunResult",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy PEP-562 exports: the package root must not import both
+    # engines at module level (repro.backends is the only module
+    # allowed to — see docs/architecture.md), so the fluid engine's
+    # classes resolve on first attribute access instead.
+    if name in ("FluidSimulator", "FluidAggregates"):
+        from .sim import fluid
+
+        return getattr(fluid, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,180 @@
+"""Fluid execution backend — interval-analytical evaluation.
+
+:class:`FluidBackend` runs the same ``(scenario, policy)`` replication
+contract as the DES backend, but through the flow engine
+(:class:`~repro.sim.fluid.FluidSimulator`).  Adaptive policies are
+executed by a *self-driving* shared control plane built from the policy
+itself (:meth:`repro.core.policies.AdaptivePolicy.control_plane`), so
+the cadence and Algorithm-1 decisions are byte-for-byte the DES code —
+the engine only integrates the flow underneath the resulting fleet
+trajectory.
+
+The backend is deterministic: ``seed`` is echoed into the result for
+bookkeeping, and replications with different seeds return identical
+metrics (apart from ``wall_seconds``).  Load balancers are a data-plane
+concept with no fluid counterpart and are rejected if passed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional, Union
+
+from ..cloud.datacenter import Datacenter
+from ..cloud.vm import DEFAULT_VM_SPEC
+from ..core.policies import AdaptivePolicy, ProvisioningPolicy, StaticPolicy
+from ..errors import ConfigurationError
+from ..obs.bus import TraceBus, TraceConfig
+from ..obs.profile import RunProfile
+from ..sim.fluid import FluidSimulator
+from .base import RunMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only for annotations
+    from ..experiments.scenario import ScenarioConfig
+
+__all__ = ["FluidBackend"]
+
+
+class FluidBackend:
+    """Interval-analytical execution of one replication.
+
+    Parameters
+    ----------
+    dt:
+        Integration interval in seconds (default 60).
+    flow_model:
+        ``"deterministic"`` (default) or ``"markovian"`` — see
+        :class:`~repro.sim.fluid.FluidSimulator`.
+    """
+
+    name = "fluid"
+
+    def __init__(self, dt: float = 60.0, flow_model: str = "deterministic") -> None:
+        self.dt = float(dt)
+        self.flow_model = flow_model
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FluidBackend(dt={self.dt!r}, flow_model={self.flow_model!r})"
+
+    def run(
+        self,
+        scenario: "ScenarioConfig",
+        policy: ProvisioningPolicy,
+        seed: int = 0,
+        balancer=None,
+        trace: Optional[Union[TraceConfig, TraceBus]] = None,
+        audit: Optional[object] = None,
+    ) -> RunMetrics:
+        """Evaluate one replication analytically and collect metrics.
+
+        ``trace``/``audit`` behave exactly as on the DES backend: the
+        run emits ``run.start``/``run.end``, the control plane emits
+        ``prediction.issued``/``decision``/``scaling.actuated``, and
+        the engine adds one ``fluid.interval`` event per constant-fleet
+        segment.
+        """
+        if balancer is not None:
+            raise ConfigurationError(
+                "the fluid backend has no per-request data plane; "
+                "load balancers only apply to backend='des'"
+            )
+        profile = RunProfile()
+        if isinstance(trace, TraceConfig):
+            tracer: Optional[TraceBus] = trace.build(scenario.name, policy.name, seed)
+            owns_bus = True
+        else:
+            tracer = trace
+            owns_bus = False
+        try:
+            if tracer is not None:
+                tracer.emit(
+                    "run.start",
+                    0.0,
+                    scenario=scenario.name,
+                    policy=policy.name,
+                    seed=int(seed),
+                )
+            with profile.phase("build"):
+                sim = FluidSimulator(
+                    scenario.workload,
+                    scenario.qos,
+                    dt=self.dt,
+                    flow_model=self.flow_model,
+                )
+                control = None
+                if isinstance(policy, AdaptivePolicy):
+                    datacenter = Datacenter(
+                        num_hosts=scenario.num_hosts,
+                        cores_per_host=scenario.cores_per_host,
+                        ram_per_host_mb=scenario.ram_per_host_mb,
+                    )
+                    control = policy.control_plane(
+                        workload=scenario.workload,
+                        qos=scenario.qos,
+                        capacity=scenario.capacity,
+                        max_vms=datacenter.max_vms(DEFAULT_VM_SPEC),
+                        tracer=tracer,
+                        audit=audit,
+                    )
+                elif not isinstance(policy, StaticPolicy):
+                    raise ConfigurationError(
+                        f"the fluid backend cannot execute {type(policy).__name__}; "
+                        "supported policies are StaticPolicy and AdaptivePolicy"
+                    )
+            t_start = time.perf_counter()
+            with profile.phase("run"):
+                if control is not None:
+                    agg = sim.run_adaptive(control, scenario.horizon, tracer=tracer)
+                else:
+                    agg = sim.run_static(
+                        policy.instances, scenario.horizon, tracer=tracer
+                    )
+            wall = time.perf_counter() - t_start
+            with profile.phase("finalize"):
+                scale = scenario.scale
+                cache_hits = control.cache_hits if control is not None else 0
+                cache_misses = control.cache_misses if control is not None else 0
+                control_series = (
+                    control.trajectory if control is not None else agg.fleet_series
+                )
+            profile.count("intervals", agg.intervals)
+            if tracer is not None:
+                tracer.emit(
+                    "run.end",
+                    scenario.horizon,
+                    events=agg.intervals,
+                    compactions=0,
+                )
+                profile.count("trace_events", tracer.emitted)
+            return RunMetrics(
+                scenario=scenario.name,
+                policy=policy.name,
+                seed=seed,
+                total_requests=agg.total_requests,
+                accepted=agg.accepted,
+                completed=agg.accepted,
+                rejected=agg.rejected,
+                rejection_rate=agg.rejection_rate,
+                mean_response_time=agg.mean_response_time / scale,
+                response_time_std=0.0,
+                qos_violations=0,
+                min_instances=agg.min_instances,
+                max_instances=agg.max_instances,
+                vm_hours=agg.vm_hours,
+                core_hours=agg.vm_hours * DEFAULT_VM_SPEC.cores,
+                failures=0,
+                lost_requests=0,
+                utilization=agg.utilization,
+                wall_seconds=wall,
+                events=agg.intervals,
+                fleet_series=agg.fleet_series,
+                control_series=control_series,
+                backend=self.name,
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+                compactions=0,
+                profile=profile.to_dict(),
+            )
+        finally:
+            if owns_bus and tracer is not None:
+                tracer.close()

@@ -15,7 +15,11 @@ paper's application provisioner (§IV-C):
 
 The decision of *how many* instances to run belongs to
 :class:`repro.core.provisioner.ApplicationProvisioner`; the fleet only
-executes.
+executes.  Through its ``serving_count`` / ``scale_to`` surface the
+fleet satisfies the backend-agnostic
+:class:`repro.core.controlplane.FleetActuator` protocol — it is the
+DES-side actuator of the shared control plane (analytical backends use
+:class:`repro.core.controlplane.RecordingActuator` instead).
 """
 
 from __future__ import annotations

@@ -6,8 +6,12 @@ Components (paper §IV, Figure 1):
 * :class:`PerformanceModeler` — Algorithm 1 over the Figure-2 queueing
   network, returning the fleet size ``m`` that meets QoS at acceptable
   utilization;
-* :class:`ApplicationProvisioner` — actuates modeler decisions through
-  the fleet (create / revive / drain instances);
+* :class:`ControlPlane` — the backend-agnostic analyzer-cadence →
+  modeler → actuation loop shared by the DES and fluid backends
+  (:mod:`repro.core.controlplane`);
+* :class:`ApplicationProvisioner` — the DES adapter that actuates
+  modeler decisions through the fleet (create / revive / drain
+  instances);
 * :class:`QoSTarget` — the negotiated contract and the Eq.-1 capacity
   rule;
 * :class:`AdaptivePolicy` / :class:`StaticPolicy` — the evaluated
@@ -16,6 +20,14 @@ Components (paper §IV, Figure 1):
 
 from .analyzer import WorkloadAnalyzer
 from .context import SimulationContext
+from .controlplane import (
+    ControlClock,
+    ControlPlane,
+    FleetActuator,
+    RecordingActuator,
+    alert_schedule,
+    next_alert_time,
+)
 from .mixed import MixedFleetPolicy, MixedFleetProvisioner
 from .modeler import PerformanceModeler, ProvisioningDecision
 from .policies import AdaptivePolicy, ProvisioningPolicy, StaticPolicy, default_predictor
@@ -31,6 +43,12 @@ __all__ = [
     "WorkloadAnalyzer",
     "ApplicationProvisioner",
     "ScalingAction",
+    "ControlPlane",
+    "ControlClock",
+    "FleetActuator",
+    "RecordingActuator",
+    "next_alert_time",
+    "alert_schedule",
     "SimulationContext",
     "ProvisioningPolicy",
     "StaticPolicy",

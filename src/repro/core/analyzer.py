@@ -31,6 +31,7 @@ from ..errors import ConfigurationError, PredictionError
 from ..prediction.base import ArrivalRatePredictor
 from ..sim.engine import Engine
 from ..sim.events import PRIORITY_HIGH, PRIORITY_LOW
+from .controlplane import alert_window_end, next_alert_time
 
 __all__ = ["WorkloadAnalyzer"]
 
@@ -138,20 +139,8 @@ class WorkloadAnalyzer:
             self._engine.schedule(interval, self._deviation_check, PRIORITY_LOW)
 
     def _next_alert_time(self, now: float) -> float:
-        """Regular cadence, pulled earlier by any known boundary.
-
-        Each boundary ``b`` triggers *two* alerts: one at ``b − lead``
-        (so capacity for an upcoming rate increase is provisioned with
-        the required head start) and one exactly at ``b`` (so capacity
-        for a rate decrease is not released while the old, higher rate
-        is still arriving).
-        """
-        nxt = now + self.update_interval
-        for b in self._predictor.boundaries(now, nxt + self.lead_time):
-            for candidate in (b - self.lead_time, b):
-                if now < candidate < nxt:
-                    nxt = candidate
-        return nxt
+        """Shared cadence (see :func:`repro.core.controlplane.next_alert_time`)."""
+        return next_alert_time(self._predictor, now, self.update_interval, self.lead_time)
 
     def _feed_monitor_history(self) -> None:
         if self._monitor is None:
@@ -167,10 +156,8 @@ class WorkloadAnalyzer:
         # The window this alert governs starts *now*: the fleet chosen
         # here serves everything until the next alert actuates, so a
         # scale-down must still cover the tail of the current regime.
-        # The end extends one lead time past the next alert so newly
-        # provisioned capacity overlaps its boot.
         window_start = now
-        window_end = max(nxt + self.lead_time, window_start + 1e-9)
+        window_end = alert_window_end(window_start, nxt, self.lead_time)
         self._feed_monitor_history()
         try:
             rate = self._predictor.predict(window_start, window_end)

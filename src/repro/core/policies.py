@@ -21,12 +21,15 @@ import math
 from abc import ABC, abstractmethod
 from typing import Callable, Optional
 
+from types import SimpleNamespace
+
 from ..errors import ConfigurationError
 from ..prediction.base import ArrivalRatePredictor
 from ..prediction.timebased import ModelInformedPredictor, ScientificModePredictor
 from ..workloads.scientific import ScientificWorkload
 from .analyzer import WorkloadAnalyzer
 from .context import SimulationContext
+from .controlplane import ControlClock, ControlPlane, RecordingActuator
 from .modeler import PerformanceModeler
 from .provisioner import ApplicationProvisioner
 
@@ -173,18 +176,86 @@ class AdaptivePolicy(ProvisioningPolicy):
         self.deviation_threshold = deviation_threshold
         self.deviation_safety = float(deviation_safety)
 
+    def _build_modeler(
+        self,
+        qos,
+        capacity: int,
+        max_vms: int,
+        tracer=None,
+        audit=None,
+        time_fn=None,
+    ) -> PerformanceModeler:
+        """One Algorithm-1 modeler, identically parameterized on every
+        backend — the piece that must not drift between DES and fluid."""
+        return PerformanceModeler(
+            qos=qos,
+            capacity=capacity,
+            max_vms=max_vms,
+            min_vms=self.min_instances,
+            rho_max=self.rho_max,
+            rejection_tolerance=self.rejection_tolerance,
+            tracer=tracer,
+            audit=audit,
+            time_fn=time_fn,
+        )
+
+    def control_plane(
+        self,
+        workload,
+        qos,
+        capacity: int,
+        max_vms: int,
+        tracer=None,
+        audit=None,
+    ) -> ControlPlane:
+        """A self-driving :class:`~repro.core.controlplane.ControlPlane`
+        for analytical backends (no engine, monitor, or fleet).
+
+        The actuator is a :class:`RecordingActuator`, the service time
+        is the workload's analytic mean (what the DES monitor's EWMA
+        converges to), and the predictor comes from the policy's own
+        ``predictor_factory`` — so the fluid backend executes the same
+        cadence/decision code as the DES, not a re-implementation.
+        """
+        if self.deviation_threshold is not None:
+            raise ConfigurationError(
+                "deviation watching needs the DES monitor; "
+                "it is not available on analytical backends"
+            )
+        if self.max_instances is not None:
+            max_vms = self.max_instances
+        clock = ControlClock()
+        observed = tracer is not None or audit is not None
+        modeler = self._build_modeler(
+            qos,
+            capacity,
+            max_vms,
+            tracer=tracer,
+            audit=audit,
+            time_fn=clock if observed else None,
+        )
+        predictor = self.predictor_factory(SimpleNamespace(workload=workload))
+        return ControlPlane(
+            modeler=modeler,
+            actuator=RecordingActuator(0, max_instances=max_vms),
+            service_time_fn=lambda st=workload.mean_service_time: st,
+            predictor=predictor,
+            update_interval=self.update_interval,
+            lead_time=self.lead_time,
+            initial_instances=self.initial_instances,
+            tracer=tracer,
+            clock=clock,
+        )
+
     def attach(self, ctx: SimulationContext) -> None:
         max_vms = self.max_instances
         if max_vms is None:
             max_vms = ctx.datacenter.max_vms(ctx.fleet.vm_spec)
         observed = ctx.tracer is not None or ctx.audit is not None
-        modeler = PerformanceModeler(
-            qos=ctx.qos,
-            capacity=ctx.capacity,
-            max_vms=max_vms,
-            min_vms=self.min_instances,
-            rho_max=self.rho_max,
-            rejection_tolerance=self.rejection_tolerance,
+        modeler = self._build_modeler(
+            ctx.qos,
+            ctx.capacity,
+            max_vms,
             tracer=ctx.tracer,
             audit=ctx.audit,
             time_fn=(lambda e=ctx.engine: e.now) if observed else None,

@@ -1,65 +1,40 @@
-"""Application provisioner — the decision-to-actuation bridge.
+"""Application provisioner — the DES adapter of the control plane.
 
 "VM and application provisioning is performed by the application
 provisioner component based on the estimated number of application
 instances calculated by the load predictor and performance modeler"
-(paper §IV-C).  :class:`ApplicationProvisioner` receives each analyzer
-estimate, obtains the monitored mean service time ``T_m``, runs the
-performance modeler (Algorithm 1), and instructs the fleet to scale —
-the fleet implements the idle-first / graceful-drain mechanics.
+(paper §IV-C).  :class:`ApplicationProvisioner` is the event-driven
+face of the backend-agnostic :class:`~repro.core.controlplane.ControlPlane`:
+it binds the plane to the simulation engine's clock, the real
+:class:`~repro.cloud.fleet.ApplicationFleet` (which implements the
+idle-first / graceful-drain actuation mechanics behind the
+:class:`~repro.core.controlplane.FleetActuator` protocol), and the
+monitor's mean-service-time estimate, then forwards each analyzer
+estimate into the shared decide-and-actuate step.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from ..cloud.fleet import ApplicationFleet
 from ..cloud.monitor import Monitor
-from ..errors import ConfigurationError
+from ..core.modeler import PerformanceModeler
 from ..sim.engine import Engine
-from .modeler import PerformanceModeler, ProvisioningDecision
+from .controlplane import ControlPlane, ScalingAction
 
 __all__ = ["ScalingAction", "ApplicationProvisioner"]
 
 
-@dataclass(frozen=True)
-class ScalingAction:
-    """One provisioning actuation, kept for diagnostics and figures.
-
-    Attributes
-    ----------
-    time:
-        When the decision was actuated.
-    predicted_rate:
-        The analyzer's ``λ`` estimate that triggered it.
-    service_time:
-        The monitored ``T_m`` used.
-    before, target, after:
-        Serving fleet size before the action, the modeler's target, and
-        the size actually reached (placement limits may cap growth).
-    decision:
-        The full Algorithm-1 outcome.
-    """
-
-    time: float
-    predicted_rate: float
-    service_time: float
-    before: int
-    target: int
-    after: int
-    decision: ProvisioningDecision
-
-
 class ApplicationProvisioner:
-    """Scales the fleet on every analyzer estimate.
+    """Scales the fleet on every analyzer estimate (DES backend).
 
     Parameters
     ----------
     engine:
-        Simulation engine (for timestamps).
+        Simulation engine (the control plane's time source).
     fleet:
-        The actuation target.
+        The actuation target (a real :class:`FleetActuator`).
     modeler:
         Algorithm-1 implementation.
     monitor:
@@ -84,23 +59,26 @@ class ApplicationProvisioner:
         initial_instances: int = 0,
         tracer: Optional[object] = None,
     ) -> None:
-        if initial_instances < 0:
-            raise ConfigurationError(
-                f"initial fleet size must be >= 0, got {initial_instances}"
-            )
         self._engine = engine
-        self._fleet = fleet
-        self._modeler = modeler
-        self._monitor = monitor
-        self.initial_instances = int(initial_instances)
-        self._tracer = tracer
-        #: Actuation log in time order.
-        self.actions: List[ScalingAction] = []
+        self.control = ControlPlane(
+            modeler=modeler,
+            actuator=fleet,
+            service_time_fn=monitor.mean_service_time,
+            initial_instances=initial_instances,
+            tracer=tracer,
+            clock=_EngineClock(engine),
+        )
+        self.initial_instances = self.control.initial_instances
 
     @property
     def modeler(self) -> PerformanceModeler:
         """The Algorithm-1 modeler (exposes decision-cache counters)."""
-        return self._modeler
+        return self.control.modeler
+
+    @property
+    def actions(self) -> List[ScalingAction]:
+        """Actuation log in time order (owned by the control plane)."""
+        return self.control.actions
 
     def start(self) -> None:
         """Deploy the initial fleet (call before the run starts).
@@ -109,33 +87,32 @@ class ApplicationProvisioner:
         analyzer alert (scheduled at time zero, before any arrival)
         performs the initial sizing.
         """
-        if self.initial_instances > 0:
-            self._fleet.scale_to(self.initial_instances)
+        self.control.start()
 
     def on_estimate(self, predicted_rate: float) -> None:
         """Analyzer callback: run Algorithm 1 and actuate the result."""
-        tm = self._monitor.mean_service_time()
-        before = self._fleet.serving_count
-        decision = self._modeler.decide(predicted_rate, tm, max(1, before))
-        after = self._fleet.scale_to(decision.instances)
-        if self._tracer is not None:
-            self._tracer.emit(
-                "scaling.actuated",
-                self._engine.now,
-                predicted_rate=predicted_rate,
-                before=before,
-                target=decision.instances,
-                after=after,
-                service_time=tm,
-            )
-        self.actions.append(
-            ScalingAction(
-                time=self._engine.now,
-                predicted_rate=predicted_rate,
-                service_time=tm,
-                before=before,
-                target=decision.instances,
-                after=after,
-                decision=decision,
-            )
-        )
+        self.control.on_estimate(self._engine.now, predicted_rate)
+
+
+class _EngineClock:
+    """A :class:`ControlClock` stand-in slaved to the simulation engine.
+
+    Writes from the control plane are discarded — the engine is the
+    single source of truth for DES time.
+    """
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, engine: Engine) -> None:
+        self._engine = engine
+
+    @property
+    def now(self) -> float:
+        return self._engine.now
+
+    @now.setter
+    def now(self, value: float) -> None:
+        pass
+
+    def __call__(self) -> float:
+        return self._engine.now

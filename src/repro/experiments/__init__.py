@@ -2,9 +2,11 @@
 
 * :func:`web_scenario` / :func:`scientific_scenario` — the paper's two
   evaluation setups (§V-B), optionally rate-rescaled.
-* :func:`run_policy` / :func:`run_replications` — one DES replication
-  of (scenario, policy) → :class:`RunResult`; ``workers=N`` dispatches
-  replications to a process pool (:mod:`repro.experiments.parallel`).
+* :func:`run_policy` / :func:`run_replications` — one replication of
+  (scenario, policy) → :class:`~repro.backends.base.RunMetrics`, on any
+  execution backend (``backend="des"`` or ``"fluid"``); ``workers=N``
+  dispatches replications to a process pool
+  (:mod:`repro.experiments.parallel`).
 * :class:`PolicySpec` — picklable policy factory for the pool path.
 * :mod:`repro.experiments.figures` — one function per paper artifact.
 * ``repro-experiments`` CLI (:mod:`repro.experiments.cli`).
@@ -27,13 +29,14 @@ from .figures import (
 )
 from .parallel import PolicySpec, default_workers, run_replications_parallel
 from .persist import load_results, result_from_dict, result_to_dict, save_results
-from .runner import RunResult, build_context, run_policy, run_replications
+from .runner import RunMetrics, RunResult, build_context, run_policy, run_replications
 from .scenario import ScenarioConfig, scientific_scenario, web_scenario
 
 __all__ = [
     "ScenarioConfig",
     "web_scenario",
     "scientific_scenario",
+    "RunMetrics",
     "RunResult",
     "build_context",
     "run_policy",

@@ -6,6 +6,7 @@ Installed as ``repro-experiments``::
     repro-experiments run table2
     repro-experiments run fig5 --scale 500 --seeds 0,1 --out results/
     repro-experiments run fig5 --workers 4
+    repro-experiments run fig5 --backend fluid
     repro-experiments run fig5-fluid
     repro-experiments run all --quick
     repro-experiments run fig5 --quick --trace traces/
@@ -34,7 +35,7 @@ import csv
 import json
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import TraceSchemaError
 from ..metrics.report import format_markdown_table, format_table
@@ -95,9 +96,12 @@ def _build(experiment: str, args: argparse.Namespace) -> "figures.FigureData":
             horizon=horizon,
             workers=args.workers,
             trace=trace,
+            backend=args.backend,
         )
     if experiment == "fig6":
-        return figures.fig6_data(seeds=seeds, workers=args.workers, trace=trace)
+        return figures.fig6_data(
+            seeds=seeds, workers=args.workers, trace=trace, backend=args.backend
+        )
     if experiment == "fig5-fluid":
         return figures.fig5_fluid_fullscale()
     if experiment == "fig6-fluid":
@@ -216,6 +220,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=int,
         default=1,
         help="process-pool size for DES replications (default 1 = sequential)",
+    )
+    runp.add_argument(
+        "--backend",
+        choices=("des", "fluid"),
+        default="des",
+        help="execution backend for fig5/fig6 policy comparisons: the "
+        "discrete-event simulator (default) or the fluid-flow engine",
     )
     runp.add_argument(
         "--trace",

@@ -15,18 +15,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.modeler import PerformanceModeler
+from ..backends.fluid import FluidBackend
 from ..core.policies import AdaptivePolicy, ProvisioningPolicy, StaticPolicy
-from ..metrics.stats import summarize
+from ..metrics.report import summary_cells
 from ..metrics.timeseries import bin_counts
-from ..prediction.timebased import ModelInformedPredictor, ScientificModePredictor
 from ..sim.calendar import SECONDS_PER_DAY, SECONDS_PER_WEEK
-from ..sim.fluid import FluidSimulator
 from ..sim.rng import RandomStreams
 from ..workloads.scientific import ScientificWorkload
 from ..workloads.web import TABLE_II, WebWorkload
 from .parallel import PolicySpec
-from .runner import RunResult, run_policy, run_replications
+from .runner import RunResult, run_replications
 from .scenario import ScenarioConfig, scientific_scenario, web_scenario
 
 __all__ = [
@@ -226,6 +224,19 @@ def workload_analysis_data(seed: int = 0) -> FigureData:
 # ----------------------------------------------------------------------
 # Figures 5 and 6 — the policy-comparison panels
 # ----------------------------------------------------------------------
+#: The Figure-5/6 panel metrics, in column order (see policy_comparison).
+_PANEL_FIELDS: Tuple[str, ...] = (
+    "min_instances",
+    "max_instances",
+    "rejection_rate",
+    "utilization",
+    "vm_hours",
+    "mean_response_time",
+    "response_time_std",
+    "qos_violations",
+)
+
+
 def policy_comparison(
     scenario: ScenarioConfig,
     policies: Sequence[Callable[[], ProvisioningPolicy]],
@@ -234,6 +245,7 @@ def policy_comparison(
     title: str = "",
     workers: int = 1,
     trace: Optional[object] = None,
+    backend: object = "des",
 ) -> FigureData:
     """Run every policy over every seed and build the four-panel table.
 
@@ -244,7 +256,10 @@ def policy_comparison(
     are bit-identical to the sequential path).  ``trace`` (``None`` or
     a :class:`~repro.obs.bus.TraceConfig`) is forwarded to every
     replication; point its path at a directory so each (policy, seed)
-    run writes its own JSONL file.
+    run writes its own JSONL file.  ``backend`` selects the execution
+    backend (``"des"``, ``"fluid"``, or an
+    :class:`~repro.backends.base.ExecutionBackend` instance) for every
+    replication.
     """
     headers = [
         "policy",
@@ -261,23 +276,11 @@ def policy_comparison(
     all_results: Dict[str, List[RunResult]] = {}
     for factory in policies:
         results = run_replications(
-            scenario, factory, seeds=seeds, workers=workers, trace=trace
+            scenario, factory, seeds=seeds, workers=workers, trace=trace, backend=backend
         )
         name = results[0].policy
         all_results[name] = results
-        rows.append(
-            [
-                name,
-                summarize([r.min_instances for r in results]).mean,
-                summarize([r.max_instances for r in results]).mean,
-                summarize([r.rejection_rate for r in results]).mean,
-                summarize([r.utilization for r in results]).mean,
-                summarize([r.vm_hours for r in results]).mean,
-                summarize([r.mean_response_time for r in results]).mean,
-                summarize([r.response_time_std for r in results]).mean,
-                summarize([r.qos_violations for r in results]).mean,
-            ]
-        )
+        rows.append([name] + summary_cells(results, _PANEL_FIELDS))
     return FigureData(
         experiment_id=experiment_id,
         title=title or f"Policy comparison on {scenario.name}",
@@ -305,11 +308,14 @@ def fig5_data(
     static_sizes: Sequence[int] = WEB_STATIC_SIZES,
     workers: int = 1,
     trace: Optional[object] = None,
+    backend: object = "des",
 ) -> FigureData:
     """Figure 5 — web scenario, Adaptive vs Static-{50..150}.
 
-    Runs the DES at rate scale ``1/scale`` (behaviour-preserving; see
-    DESIGN.md §4).  ``scale=200`` keeps the full week tractable.
+    The default backend runs the DES at rate scale ``1/scale``
+    (behaviour-preserving; see DESIGN.md §4) — ``scale=200`` keeps the
+    full week tractable.  ``backend="fluid"`` evaluates the identical
+    scenario analytically.
     """
     scenario = web_scenario(scale=scale, horizon=horizon)
     data = policy_comparison(
@@ -320,6 +326,7 @@ def fig5_data(
         title="Figure 5: web scenario (Wikipedia workload), one week",
         workers=workers,
         trace=trace,
+        backend=backend,
     )
     return data
 
@@ -330,6 +337,7 @@ def fig6_data(
     static_sizes: Sequence[int] = SCI_STATIC_SIZES,
     workers: int = 1,
     trace: Optional[object] = None,
+    backend: object = "des",
 ) -> FigureData:
     """Figure 6 — scientific scenario at full paper scale, one day."""
     scenario = scientific_scenario(horizon=horizon)
@@ -346,6 +354,7 @@ def fig6_data(
         title="Figure 6: scientific scenario (Grid Workloads Archive BoT), one day",
         workers=workers,
         trace=trace,
+        backend=backend,
     )
 
 
@@ -358,57 +367,34 @@ def fluid_policy_comparison(
     experiment_id: str,
     title: str,
     update_interval: Optional[float] = None,
+    dt: float = 60.0,
+    flow_model: str = "deterministic",
 ) -> FigureData:
-    """Adaptive + Static-N evaluated by the fluid engine at scale 1."""
-    workload = scenario.workload
-    qos = scenario.qos
-    fluid = FluidSimulator(workload, qos)
-    max_vms = 8 * scenario.num_hosts
-    modeler = PerformanceModeler(qos=qos, capacity=scenario.capacity, max_vms=max_vms)
-    inner = getattr(workload, "inner", workload)
-    if isinstance(inner, ScientificWorkload):
-        predictor = ScientificModePredictor(inner)
-    else:
-        predictor = ModelInformedPredictor(workload, mode="max")
-    interval = update_interval if update_interval is not None else scenario.update_interval
-    results = {
-        "Adaptive": fluid.run_adaptive(
-            predictor,
-            modeler,
-            horizon=scenario.horizon,
-            update_interval=interval,
-            lead_time=scenario.lead_time,
+    """Adaptive + Static-N evaluated by the fluid backend.
+
+    A thin wrapper over :func:`policy_comparison` with
+    ``backend=FluidBackend(...)`` — the policies, summary table, and
+    ``raw["results"]`` layout (policy name → list of
+    :class:`~repro.backends.base.RunMetrics`) are identical to the DES
+    path, so tooling does not care which backend produced a figure.
+    """
+    interval = (
+        update_interval if update_interval is not None else scenario.update_interval
+    )
+    factories: List[Callable[[], ProvisioningPolicy]] = [
+        PolicySpec(
+            AdaptivePolicy, update_interval=interval, lead_time=scenario.lead_time
         )
-    }
+    ]
     for n in static_sizes:
-        results[f"Static-{n}"] = fluid.run_static(n, scenario.horizon)
-    headers = [
-        "policy",
-        "min inst",
-        "max inst",
-        "rejection",
-        "utilization",
-        "VM hours",
-        "avg Tr (s)",
-    ]
-    rows = [
-        [
-            name,
-            r.min_instances,
-            r.max_instances,
-            r.rejection_rate,
-            r.utilization,
-            r.vm_hours,
-            r.mean_response_time / scenario.scale,
-        ]
-        for name, r in results.items()
-    ]
-    return FigureData(
+        factories.append(PolicySpec(StaticPolicy, n))
+    return policy_comparison(
+        scenario,
+        factories,
+        seeds=(0,),
         experiment_id=experiment_id,
         title=title,
-        headers=headers,
-        rows=rows,
-        raw={"results": results, "scenario": scenario},
+        backend=FluidBackend(dt=dt, flow_model=flow_model),
     )
 
 

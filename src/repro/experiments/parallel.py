@@ -6,11 +6,12 @@ alone, so N seeds can run on N cores with zero shared state.  This
 module gives :func:`~repro.experiments.runner.run_replications` that
 backend:
 
-* work items are picklable ``(scenario, policy_spec, seed, trace)``
-  tuples — :class:`PolicySpec` is the picklable stand-in for the ad-hoc
-  lambda factories used in scripts, and ``trace`` is ``None`` or a
-  :class:`~repro.obs.bus.TraceConfig` (a live bus cannot cross the
-  process boundary);
+* work items are picklable ``(scenario, policy_spec, seed, trace,
+  backend)`` tuples — :class:`PolicySpec` is the picklable stand-in for
+  the ad-hoc lambda factories used in scripts, ``trace`` is ``None`` or
+  a :class:`~repro.obs.bus.TraceConfig` (a live bus cannot cross the
+  process boundary), and ``backend`` is a spec string or picklable
+  :class:`~repro.backends.base.ExecutionBackend`;
 * dispatch is chunked (``chunk_size`` seeds per pickle round-trip) and
   results come back **in seed order**;
 * replications use the exact same per-seed spawned random streams as
@@ -96,13 +97,16 @@ def _run_task(
         Callable[[], ProvisioningPolicy],
         int,
         Optional[TraceConfig],
+        Any,
     ]
 ):
     """Process-pool entry point: one replication from a picklable tuple."""
-    scenario, policy_factory, seed, trace = task
+    scenario, policy_factory, seed, trace, backend = task
     from .runner import run_policy
 
-    return run_policy(scenario, policy_factory(), seed=seed, trace=trace)
+    return run_policy(
+        scenario, policy_factory(), seed=seed, trace=trace, backend=backend
+    )
 
 
 def _sequential(
@@ -110,10 +114,14 @@ def _sequential(
     policy_factory: Callable[[], ProvisioningPolicy],
     seeds: Sequence[int],
     trace: Optional[Any] = None,
+    backend: Any = "des",
 ) -> List[Any]:
     from .runner import run_policy
 
-    return [run_policy(scenario, policy_factory(), seed=s, trace=trace) for s in seeds]
+    return [
+        run_policy(scenario, policy_factory(), seed=s, trace=trace, backend=backend)
+        for s in seeds
+    ]
 
 
 def run_replications_parallel(
@@ -123,6 +131,7 @@ def run_replications_parallel(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     trace: Optional[Any] = None,
+    backend: Any = "des",
 ) -> List[Any]:
     """Run one replication per seed on a process pool.
 
@@ -146,20 +155,25 @@ def run_replications_parallel(
         resolve per-run — point it at a directory or use placeholders.
         A live :class:`~repro.obs.bus.TraceBus` is unpicklable and
         triggers the sequential fallback.
+    backend:
+        Execution backend per replication — ``"des"`` (default),
+        ``"fluid"``, or a picklable
+        :class:`~repro.backends.base.ExecutionBackend` instance.
 
     Returns
     -------
     list
-        ``RunResult`` per seed, **in seed order**, bit-identical to the
-        sequential path except for the ``wall_seconds`` diagnostic and
-        the (equality-excluded) ``profile`` timings.
+        :class:`~repro.backends.base.RunMetrics` per seed, **in seed
+        order**, bit-identical to the sequential path except for the
+        ``wall_seconds`` diagnostic and the (equality-excluded)
+        ``profile`` timings.
     """
     if workers is None:
         workers = default_workers()
     n_workers = min(int(workers), len(seeds)) if seeds else 1
     if n_workers <= 1:
-        return _sequential(scenario, policy_factory, seeds, trace=trace)
-    tasks = [(scenario, policy_factory, int(seed), trace) for seed in seeds]
+        return _sequential(scenario, policy_factory, seeds, trace=trace, backend=backend)
+    tasks = [(scenario, policy_factory, int(seed), trace, backend) for seed in seeds]
     try:
         pickle.dumps(tasks[0])
     except Exception as exc:  # noqa: BLE001 - any pickling failure falls back
@@ -173,7 +187,7 @@ def run_replications_parallel(
                 error=repr(exc),
             ),
         )
-        return _sequential(scenario, policy_factory, seeds, trace=trace)
+        return _sequential(scenario, policy_factory, seeds, trace=trace, backend=backend)
     if chunk_size is None:
         chunk_size = max(1, len(tasks) // n_workers)
     try:
@@ -194,4 +208,4 @@ def run_replications_parallel(
                 error=repr(exc),
             ),
         )
-        return _sequential(scenario, policy_factory, seeds, trace=trace)
+        return _sequential(scenario, policy_factory, seeds, trace=trace, backend=backend)

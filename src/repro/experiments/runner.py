@@ -1,189 +1,34 @@
-"""Experiment runner — builds, runs, and summarizes simulations.
+"""Experiment runner — the backend-agnostic replication entry point.
 
-One :func:`run_policy` call = one replication of (scenario, policy):
-it wires the data plane (engine, data center, fleet, monitor, metrics,
-admission, source), attaches the policy's control plane, runs the
-event loop to the horizon, and returns a :class:`RunResult` with the
-paper's output metrics — response times normalized back to paper scale
-when the scenario is rescaled.
+One :func:`run_policy` call = one replication of (scenario, policy) on
+a chosen execution backend: ``backend="des"`` (default) wires the full
+event-per-request data plane, ``backend="fluid"`` evaluates the same
+control plane analytically (see :mod:`repro.backends`).  Either way the
+result is one unified :class:`~repro.backends.base.RunMetrics` record —
+response times normalized back to paper scale when the scenario is
+rescaled — so replication fan-out, persistence, figures, and the CLI
+perf summary need not care how a run was executed.
 
-Replications use spawned random streams (seed 0, 1, 2 …), so each is
-independent yet exactly reproducible, and policies compared on the same
-replication index share identical arrival streams (common random
-numbers — the variance-reduction discipline the static-vs-adaptive
-comparison benefits from).
+``RunResult`` is kept as a module-level alias of :class:`RunMetrics`
+for the many call sites (and saved result sets) that predate the
+backend split.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Union
 
-from ..cloud.admission import AdmissionControl
-from ..cloud.broker import WorkloadSource
-from ..cloud.datacenter import Datacenter
-from ..cloud.fleet import ApplicationFleet
-from ..cloud.monitor import Monitor
+from ..backends import RunMetrics, build_context, resolve_backend
+from ..backends.base import ExecutionBackend
 from ..cloud.loadbalancer import LoadBalancer
-from ..core.context import SimulationContext
 from ..core.policies import ProvisioningPolicy
-from ..metrics.collector import MetricsCollector
 from ..obs.bus import TraceBus, TraceConfig
-from ..obs.profile import RunProfile
-from ..sim.engine import Engine
-from ..sim.rng import RandomStreams
 from .scenario import ScenarioConfig
 
-__all__ = ["RunResult", "build_context", "run_policy", "run_replications"]
+__all__ = ["RunResult", "RunMetrics", "build_context", "run_policy", "run_replications"]
 
-
-@dataclass(frozen=True)
-class RunResult:
-    """Output metrics of one replication (paper-scale normalized).
-
-    Attributes
-    ----------
-    scenario, policy, seed:
-        Identification of the run.
-    total_requests, accepted, rejected:
-        Arrival accounting.
-    rejection_rate:
-        Fraction of arrivals rejected.
-    mean_response_time, response_time_std:
-        Accepted-request response statistics, divided by the scenario
-        scale factor so they are directly comparable to the paper.
-    qos_violations:
-        Accepted requests that exceeded ``T_s``.
-    min_instances, max_instances:
-        Fleet-size extrema observed during the run.
-    vm_hours:
-        Σ instance wall-clock lifetime in hours (Figure 5(c)/6(c)).
-    core_hours:
-        Σ allocated cores × wall-clock hours; equals ``vm_hours`` for
-        one-core fleets and is the cost unit that makes the
-        vertical-scaling baseline comparable.
-    failures, lost_requests:
-        Failure-injection accounting (0 without an injector).
-    utilization:
-        Busy time / provisioned VM time (Figure 5(b)/6(b)).
-    wall_seconds, events:
-        Runner diagnostics.  ``wall_seconds`` is the only field that is
-        not a deterministic function of (scenario, policy, seed).
-    fleet_series:
-        ``(time, live_instances)`` trajectory when tracking was on.
-    cache_hits, cache_misses:
-        Algorithm-1 decision-cache counters of the run's modeler
-        (both 0 for policies without one, e.g. Static-N).
-    compactions:
-        Heap compactions the engine performed (deterministic — lazy
-        cancellations are a function of the run, not the wall clock).
-    profile:
-        :meth:`repro.obs.profile.RunProfile.to_dict` snapshot of the
-        run's phase wall-clock and event counters.  Excluded from
-        equality (``compare=False``): timings are nondeterministic, so
-        sequential and parallel replications still compare equal.
-    """
-
-    scenario: str
-    policy: str
-    seed: int
-    total_requests: int
-    accepted: int
-    completed: int
-    rejected: int
-    rejection_rate: float
-    mean_response_time: float
-    response_time_std: float
-    qos_violations: int
-    min_instances: int
-    max_instances: int
-    vm_hours: float
-    core_hours: float
-    failures: int
-    lost_requests: int
-    utilization: float
-    wall_seconds: float
-    events: int
-    fleet_series: Tuple[Tuple[float, int], ...] = ()
-    cache_hits: int = 0
-    cache_misses: int = 0
-    compactions: int = 0
-    profile: Dict[str, Dict[str, float]] = field(default_factory=dict, compare=False)
-
-
-def build_context(
-    scenario: ScenarioConfig,
-    seed: int = 0,
-    balancer: Optional[LoadBalancer] = None,
-    tracer: Optional[TraceBus] = None,
-    audit: Optional[object] = None,
-) -> SimulationContext:
-    """Wire the data plane of one replication (no policy attached).
-
-    ``tracer`` (a :class:`~repro.obs.bus.TraceBus`) and ``audit`` (a
-    :class:`~repro.obs.audit.DecisionAuditLog`) are threaded into every
-    instrumented component; both default to ``None`` — tracing off.
-    """
-    streams = RandomStreams(seed)
-    engine = Engine(tracer=tracer)
-    workload = scenario.workload
-    metrics = MetricsCollector(
-        qos_response_time=scenario.qos.max_response_time,
-        track_fleet_series=scenario.track_fleet_series,
-    )
-    datacenter = Datacenter(
-        num_hosts=scenario.num_hosts,
-        cores_per_host=scenario.cores_per_host,
-        ram_per_host_mb=scenario.ram_per_host_mb,
-    )
-    monitor = Monitor(
-        engine=engine,
-        metrics=metrics,
-        default_service_time=workload.mean_service_time,
-        rate_sample_interval=scenario.rate_sample_interval,
-        tracer=tracer,
-    )
-    sampler = workload.service_sampler(streams.get("service"))
-    capacity = scenario.capacity
-    fleet = ApplicationFleet(
-        engine=engine,
-        datacenter=datacenter,
-        sampler=sampler,
-        monitor=monitor,
-        metrics=metrics,
-        capacity=capacity,
-        balancer=balancer,
-        boot_delay=scenario.boot_delay,
-        tracer=tracer,
-    )
-    admission = AdmissionControl(
-        fleet, monitor, count_arrivals=scenario.count_arrivals, tracer=tracer
-    )
-    source = WorkloadSource(
-        engine=engine,
-        workload=workload,
-        rng=streams.get("arrivals"),
-        admission=admission,
-        horizon=scenario.horizon,
-        tracer=tracer,
-    )
-    return SimulationContext(
-        engine=engine,
-        streams=streams,
-        workload=workload,
-        qos=scenario.qos,
-        capacity=capacity,
-        datacenter=datacenter,
-        fleet=fleet,
-        monitor=monitor,
-        metrics=metrics,
-        admission=admission,
-        source=source,
-        horizon=scenario.horizon,
-        tracer=tracer,
-        audit=audit,
-    )
+#: Backward-compatible alias — one result type across all backends.
+RunResult = RunMetrics
 
 
 def run_policy(
@@ -193,7 +38,8 @@ def run_policy(
     balancer: Optional[LoadBalancer] = None,
     trace: Optional[Union[TraceConfig, TraceBus]] = None,
     audit: Optional[object] = None,
-) -> RunResult:
+    backend: Union[str, ExecutionBackend, None] = "des",
+) -> RunMetrics:
     """Run one replication of (scenario, policy) and collect metrics.
 
     Parameters
@@ -208,79 +54,13 @@ def run_policy(
     audit:
         Optional :class:`~repro.obs.audit.DecisionAuditLog` capturing
         every Algorithm-1 invocation of this run.
+    backend:
+        ``"des"`` (default), ``"fluid"``, or a ready
+        :class:`~repro.backends.base.ExecutionBackend` instance.
     """
-    profile = RunProfile()
-    if isinstance(trace, TraceConfig):
-        tracer: Optional[TraceBus] = trace.build(scenario.name, policy.name, seed)
-        owns_bus = True
-    else:
-        tracer = trace
-        owns_bus = False
-    try:
-        if tracer is not None:
-            tracer.emit(
-                "run.start",
-                0.0,
-                scenario=scenario.name,
-                policy=policy.name,
-                seed=int(seed),
-            )
-        with profile.phase("build"):
-            ctx = build_context(scenario, seed, balancer, tracer=tracer, audit=audit)
-            policy.attach(ctx)
-            ctx.source.start()
-        t_start = time.perf_counter()
-        with profile.phase("run"):
-            ctx.engine.run(until=scenario.horizon)
-        wall = time.perf_counter() - t_start
-        with profile.phase("finalize"):
-            now = ctx.engine.now
-            ctx.metrics.finalize(now, ctx.datacenter.vm_hours(now))
-            m = ctx.metrics
-            scale = scenario.scale
-            modeler = getattr(ctx.provisioner, "modeler", None)
-            cache_hits = modeler.cache_hits if modeler is not None else 0
-            cache_misses = modeler.cache_misses if modeler is not None else 0
-        profile.count("events", ctx.engine.events_fired)
-        profile.count("compactions", ctx.engine.compactions)
-        if tracer is not None:
-            tracer.emit(
-                "run.end",
-                now,
-                events=ctx.engine.events_fired,
-                compactions=ctx.engine.compactions,
-            )
-            profile.count("trace_events", tracer.emitted)
-        return RunResult(
-            scenario=scenario.name,
-            policy=policy.name,
-            seed=seed,
-            total_requests=m.total_requests,
-            accepted=m.accepted,
-            completed=m.completed,
-            rejected=m.rejected,
-            rejection_rate=m.rejection_rate,
-            mean_response_time=m.mean_response_time / scale,
-            response_time_std=m.response_time_std / scale,
-            qos_violations=m.violations,
-            min_instances=m.min_instances if m.min_instances is not None else 0,
-            max_instances=m.max_instances if m.max_instances is not None else 0,
-            vm_hours=m.vm_hours,
-            core_hours=ctx.datacenter.core_hours(now),
-            failures=m.failures,
-            lost_requests=m.lost_requests,
-            utilization=m.utilization,
-            wall_seconds=wall,
-            events=ctx.engine.events_fired,
-            fleet_series=tuple(m.fleet_series),
-            cache_hits=cache_hits,
-            cache_misses=cache_misses,
-            compactions=ctx.engine.compactions,
-            profile=profile.to_dict(),
-        )
-    finally:
-        if owns_bus and tracer is not None:
-            tracer.close()
+    return resolve_backend(backend).run(
+        scenario, policy, seed=seed, balancer=balancer, trace=trace, audit=audit
+    )
 
 
 def run_replications(
@@ -290,7 +70,8 @@ def run_replications(
     workers: int = 1,
     chunk_size: Optional[int] = None,
     trace: Optional[Union[TraceConfig, TraceBus]] = None,
-) -> List[RunResult]:
+    backend: Union[str, ExecutionBackend, None] = "des",
+) -> List[RunMetrics]:
     """Run several replications with independent seeds.
 
     ``policy_factory`` builds a fresh policy per replication so no
@@ -317,6 +98,9 @@ def run_replications(
         replication writes its own JSONL file; a live
         :class:`~repro.obs.bus.TraceBus` cannot cross the process
         boundary and triggers the sequential fallback.
+    backend:
+        Execution backend for every replication — a spec string or a
+        (picklable, for the parallel path) backend instance.
     """
     if workers is not None and workers > 1:
         from .parallel import run_replications_parallel
@@ -328,5 +112,9 @@ def run_replications(
             workers=workers,
             chunk_size=chunk_size,
             trace=trace,
+            backend=backend,
         )
-    return [run_policy(scenario, policy_factory(), seed=s, trace=trace) for s in seeds]
+    return [
+        run_policy(scenario, policy_factory(), seed=s, trace=trace, backend=backend)
+        for s in seeds
+    ]

@@ -1,16 +1,63 @@
-"""Plain-text table rendering for benchmark output.
+"""Plain-text table rendering and result-row summarization.
 
 The benchmark harness prints the same rows the paper's figures plot —
 one row per policy, one column per output metric.  This module renders
 those tables with aligned monospace columns so ``pytest benchmarks/``
-output is directly comparable to the paper.
+output is directly comparable to the paper, and owns the one
+replication-summarization helper (:func:`summary_cells`) shared by the
+figure builders and ad-hoc reporting — mean/CI semantics live in
+:mod:`repro.metrics.stats`, the table-cell convention lives here, and
+neither is re-implemented per caller.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
-__all__ = ["format_table", "format_markdown_table"]
+from .stats import summarize
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "summary_cells",
+    "summary_table_rows",
+]
+
+
+def summary_cells(
+    results: Sequence[object], fields: Sequence[str], ci: bool = False
+) -> List[object]:
+    """Across-replication summary of each named result attribute.
+
+    One cell per field: the mean over ``results`` (any objects exposing
+    the attributes, e.g. :class:`~repro.backends.base.RunMetrics`), or
+    a ``"mean ± ci95"`` string when ``ci`` is requested and more than
+    one replication is present.
+    """
+    cells: List[object] = []
+    for name in fields:
+        s = summarize([getattr(r, name) for r in results])
+        if ci and len(results) > 1:
+            cells.append(f"{s.mean:.4g} ± {s.ci95:.2g}")
+        else:
+            cells.append(s.mean)
+    return cells
+
+
+def summary_table_rows(
+    results_by_name: Sequence[tuple],
+    fields: Sequence[str],
+    ci: bool = False,
+) -> List[List[object]]:
+    """One summary row per ``(label, replications)`` pair.
+
+    The bulk form of :func:`summary_cells`: each row starts with the
+    label followed by the per-field summaries.
+    """
+    return [
+        [label] + summary_cells(results, fields, ci=ci)
+        for label, results in results_by_name
+    ]
 
 
 def _stringify(cell: object) -> str:

@@ -90,6 +90,13 @@ EVENT_TYPES: Dict[str, Dict[str, tuple]] = {
     },
     # engine heap hygiene
     "engine.compacted": {"removed": (int,), "remaining": (int,)},
+    # fluid backend: one event per constant-fleet integration segment
+    "fluid.interval": {
+        "duration": _FLOAT,
+        "instances": (int,),
+        "offered": _FLOAT,
+        "rejected": _FLOAT,
+    },
 }
 
 #: The per-request event types — the only high-frequency ones.  CLI

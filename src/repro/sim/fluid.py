@@ -6,10 +6,9 @@ event-per-request Python DES.  The fluid engine is the full-scale
 companion (DESIGN.md §4): it advances the scenario in fixed intervals
 and treats demand as a *flow* through the provisioned fleet:
 
-* per interval ``Δ`` it evaluates the workload's mean rate ``λ(t)``,
-  replays the exact same control plane as the DES (the analyzer cadence
-  and Algorithm-1 modeler from :mod:`repro.core`) to obtain the fleet
-  size ``m(t)``, then
+* per interval ``Δ`` it evaluates the workload's mean rate ``λ(t)``
+  against the fleet size ``m(t)`` dictated by the control trajectory,
+  then
 * converts flow to metrics with a queueing model of the instances —
   either the Markovian M/M/1/k station (``flow_model="markovian"``) or
   a deterministic-flow bound (``flow_model="deterministic"``, default)
@@ -17,10 +16,18 @@ and treats demand as a *flow* through the provisioned fleet:
   only when offered load exceeds fleet capacity, and the response time
   of accepted requests is the station's mean sojourn.
 
-The engine is cross-validated against the DES by the
-``xcheck-fluid`` benchmark and the integration test-suite: fleet
-trajectories agree exactly (same control plane), aggregate rejection /
-utilization / VM-hours agree within a few percent.
+The engine is pure data plane: it knows nothing about predictors or
+Algorithm 1.  Adaptive runs are driven by a *self-driving*
+:class:`~repro.core.controlplane.ControlPlane` handed in by the caller
+(see :class:`repro.backends.fluid.FluidBackend`), which is the exact
+control-plane code the DES executes — cadence, modeler, actuation.
+That sharing is what lets ``tests/test_backend_xcheck.py`` assert
+bit-identical control trajectories across backends, with aggregate
+rejection / utilization / VM-hours agreeing within a few percent.
+
+Results come back as a neutral :class:`FluidAggregates` record; the
+backend layer converts it into the unified
+:class:`~repro.backends.base.RunMetrics`.
 """
 
 from __future__ import annotations
@@ -31,19 +38,17 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..core.modeler import PerformanceModeler
 from ..core.qos import QoSTarget
 from ..errors import ConfigurationError
-from ..prediction.base import ArrivalRatePredictor
 from ..queueing.mm1k import MM1KQueue
 from ..workloads.base import Workload
 
-__all__ = ["FluidResult", "FluidSimulator"]
+__all__ = ["FluidAggregates", "FluidSimulator"]
 
 
 @dataclass(frozen=True)
-class FluidResult:
-    """Aggregate metrics of a fluid run (same semantics as RunResult).
+class FluidAggregates:
+    """Raw aggregates of a fluid run (engine-internal record).
 
     Attributes
     ----------
@@ -52,12 +57,15 @@ class FluidResult:
     rejection_rate, utilization, vm_hours:
         The paper's headline aggregates.
     mean_response_time:
-        Accepted-flow-weighted mean sojourn (paper-scale normalized by
-        the caller when the scenario is scaled).
+        Accepted-flow-weighted mean sojourn, in *scenario* time — the
+        backend normalizes it back to paper scale.
     min_instances, max_instances:
         Fleet-size extrema of the control trajectory.
     fleet_series:
         ``(time, instances)`` trajectory (one entry per change).
+    intervals:
+        Number of integration-grid intervals evaluated (the fluid
+        analogue of the DES event count).
     """
 
     total_requests: float
@@ -70,6 +78,7 @@ class FluidResult:
     vm_hours: float
     utilization: float
     fleet_series: Tuple[Tuple[float, int], ...]
+    intervals: int
 
 
 class FluidSimulator:
@@ -165,64 +174,52 @@ class FluidSimulator:
         return blocking, sojourn
 
     # ------------------------------------------------------------------
-    def run_static(self, instances: int, horizon: float) -> FluidResult:
+    def run_static(
+        self, instances: int, horizon: float, tracer: Optional[object] = None
+    ) -> FluidAggregates:
         """Evaluate a Static-N policy over ``[0, horizon)``."""
         if instances < 1:
             raise ConfigurationError(f"instances must be >= 1, got {instances}")
         times = np.arange(0.0, horizon, self.dt)
         m_series = [(0.0, int(instances))]
-        return self._integrate(times, np.full(times.size, instances, dtype=np.int64), m_series, horizon)
+        return self._integrate(
+            times,
+            np.full(times.size, instances, dtype=np.int64),
+            m_series,
+            horizon,
+            tracer=tracer,
+        )
 
     def run_adaptive(
         self,
-        predictor: ArrivalRatePredictor,
-        modeler: PerformanceModeler,
+        control,
         horizon: float,
-        update_interval: float = 900.0,
-        lead_time: float = 60.0,
-        initial_instances: int = 1,
-    ) -> FluidResult:
-        """Evaluate the adaptive control plane over ``[0, horizon)``.
+        tracer: Optional[object] = None,
+    ) -> FluidAggregates:
+        """Evaluate a self-driving control plane over ``[0, horizon)``.
 
-        Replays the analyzer cadence (regular interval plus predictor
-        boundaries, each ``lead_time`` early) and Algorithm 1 exactly as
-        the DES does, then integrates the flow.
+        ``control`` is a :class:`~repro.core.controlplane.ControlPlane`
+        (or anything duck-compatible exposing ``start()``,
+        ``alert_times(horizon)``, ``step(now)`` and ``trajectory``).
+        The engine walks the plane's own alert schedule — the exact
+        cadence the DES analyzer follows — and integrates the flow
+        under the resulting fleet trajectory.
         """
-        if update_interval <= 0.0:
-            raise ConfigurationError(f"update interval must be > 0, got {update_interval!r}")
-        # --- control trajectory -----------------------------------------
-        alert_times: List[float] = [0.0]
-        t = 0.0
-        while True:
-            nxt = t + update_interval
-            # Mirror WorkloadAnalyzer._next_alert_time exactly: alerts
-            # both one lead early (scale-up head start) and exactly at
-            # each boundary (no premature scale-down).
-            for b in predictor.boundaries(t, nxt + lead_time):
-                for cand in (b - lead_time, b):
-                    if t < cand < nxt:
-                        nxt = cand
-            if nxt >= horizon:
-                break
-            alert_times.append(nxt)
-            t = nxt
-        m = max(1, int(initial_instances))
-        m_changes: List[Tuple[float, int]] = []
-        for i, ta in enumerate(alert_times):
-            window_start = ta
-            window_end = (alert_times[i + 1] if i + 1 < len(alert_times) else horizon) + lead_time
-            window_end = max(window_end, window_start + 1e-9)
-            lam = predictor.predict(window_start, window_end)
-            decision = modeler.decide(lam, self.service_time, m)
-            m = decision.instances
-            m_changes.append((ta, m))
+        control.start()
+        for alert in control.alert_times(horizon):
+            control.step(alert)
+        m_changes: List[Tuple[float, int]] = list(control.trajectory)
+        if not m_changes:
+            # Every alert was skipped (predictor without history): the
+            # initial fleet serves the whole horizon.
+            m_changes = [(0.0, max(1, control.actuator.serving_count))]
         # --- sample m(t) on the integration grid -------------------------
         times = np.arange(0.0, horizon, self.dt)
         change_times = np.array([t for t, _ in m_changes])
-        change_values = np.array([v for _, v in m_changes], dtype=np.int64)
+        change_values = np.array([max(1, v) for _, v in m_changes], dtype=np.int64)
         idx = np.clip(np.searchsorted(change_times, times, side="right") - 1, 0, None)
         m_grid = change_values[idx]
-        return self._integrate(times, m_grid, m_changes, horizon)
+        return self._integrate(times, m_grid, m_changes, horizon, tracer=tracer)
 
     # ------------------------------------------------------------------
     def _integrate(
@@ -231,7 +228,8 @@ class FluidSimulator:
         m_grid: np.ndarray,
         m_series: List[Tuple[float, int]],
         horizon: float,
-    ) -> FluidResult:
+        tracer: Optional[object] = None,
+    ) -> FluidAggregates:
         lam = np.atleast_1d(np.asarray(self.workload.mean_rate(times), dtype=np.float64))
         dt = self.dt
         # Vectorized interval loop: one pass of numpy kernels over the
@@ -247,7 +245,9 @@ class FluidSimulator:
         resp_weighted = float(np.sum(acc_rate * sojourn)) * dt
         vm_seconds = float(np.sum(m_grid.astype(np.float64) * dt))
         vm_hours = vm_seconds / 3600.0
-        return FluidResult(
+        if tracer is not None and times.size:
+            self._emit_intervals(tracer, times, m_grid, lam, blocking)
+        return FluidAggregates(
             total_requests=total,
             accepted=accepted,
             rejected=rejected,
@@ -258,4 +258,34 @@ class FluidSimulator:
             vm_hours=vm_hours,
             utilization=(busy / vm_seconds) if vm_seconds > 0 else 0.0,
             fleet_series=tuple(m_series),
+            intervals=int(times.size),
         )
+
+    def _emit_intervals(
+        self,
+        tracer,
+        times: np.ndarray,
+        m_grid: np.ndarray,
+        lam: np.ndarray,
+        blocking: np.ndarray,
+    ) -> None:
+        """Emit one ``fluid.interval`` trace event per constant-m segment.
+
+        A per-grid-interval event stream would dwarf the DES control
+        trace (10k+ events/week); aggregating to fleet-size segments
+        keeps traces comparable while still exposing the flow balance.
+        """
+        starts = np.flatnonzero(np.diff(m_grid)) + 1
+        starts = np.concatenate(([0], starts))
+        offered = np.add.reduceat(lam, starts) * self.dt
+        rejected = np.add.reduceat(lam * blocking, starts) * self.dt
+        ends = np.append(starts[1:], m_grid.size)
+        for i, start in enumerate(starts):
+            tracer.emit(
+                "fluid.interval",
+                float(times[start]),
+                duration=float((ends[i] - start) * self.dt),
+                instances=int(m_grid[start]),
+                offered=float(offered[i]),
+                rejected=float(rejected[i]),
+            )

@@ -65,7 +65,8 @@ def test_fluid_policy_comparison_rows():
     )
     names = [row[0] for row in data.rows]
     assert names == ["Adaptive", "Static-15", "Static-30", "Static-45", "Static-60", "Static-75"]
-    adaptive = data.raw["results"]["Adaptive"]
+    (adaptive,) = data.raw["results"]["Adaptive"]
+    assert adaptive.backend == "fluid"
     assert adaptive.max_instances > adaptive.min_instances
 
 

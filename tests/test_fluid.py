@@ -4,10 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import AdaptivePolicy, PerformanceModeler, StaticPolicy
+from repro.core import AdaptivePolicy
 from repro.errors import ConfigurationError
-from repro.experiments import run_policy, scientific_scenario, web_scenario
-from repro.prediction import ModelInformedPredictor, ScientificModePredictor
+from repro.experiments import run_policy, scientific_scenario
 from repro.sim.calendar import SECONDS_PER_DAY
 from repro.sim.fluid import FluidSimulator
 from repro.workloads import PoissonWorkload, ScientificWorkload, WebWorkload
@@ -54,14 +53,10 @@ def test_adaptive_fluid_matches_des_fleet_trajectory_scientific():
     des = run_policy(scenario, AdaptivePolicy(update_interval=1800.0), seed=0)
     sci = ScientificWorkload()
     fluid = FluidSimulator(sci, scenario.qos)
-    modeler = PerformanceModeler(qos=scenario.qos, capacity=2, max_vms=8000)
-    res = fluid.run_adaptive(
-        ScientificModePredictor(sci),
-        modeler,
-        horizon=SECONDS_PER_DAY,
-        update_interval=1800.0,
-        lead_time=60.0,
+    control = AdaptivePolicy(update_interval=1800.0).control_plane(
+        sci, scenario.qos, capacity=2, max_vms=8000
     )
+    res = fluid.run_adaptive(control, horizon=SECONDS_PER_DAY)
     # The control plane is identical, so extremes must agree closely
     # (DES Tm is the monitored EWMA, fluid uses the analytic mean).
     assert abs(res.min_instances - des.min_instances) <= 1
@@ -77,14 +72,8 @@ def test_adaptive_fluid_web_fullscale_headlines():
     w = WebWorkload()
     qos = QoSTarget(max_response_time=0.250, min_utilization=0.80)
     fluid = FluidSimulator(w, qos, dt=60.0)
-    modeler = PerformanceModeler(qos=qos, capacity=2, max_vms=8000)
-    res = fluid.run_adaptive(
-        ModelInformedPredictor(w, mode="max"),
-        modeler,
-        horizon=7 * SECONDS_PER_DAY,
-        update_interval=900.0,
-        lead_time=60.0,
-    )
+    control = AdaptivePolicy().control_plane(w, qos, capacity=2, max_vms=8000)
+    res = fluid.run_adaptive(control, horizon=7 * SECONDS_PER_DAY)
     assert 48 <= res.min_instances <= 58  # paper: 55
     assert 148 <= res.max_instances <= 158  # paper: 153
     # VM hours ≈ 111 instances 24/7 (paper) → 111*168 = 18648.

@@ -1,12 +1,14 @@
-"""Tests of result persistence."""
+"""Tests of result persistence (v2 schema + v1 upgrade path)."""
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import pytest
 
-from repro.core import StaticPolicy, QoSTarget
+from repro.backends import RunMetrics
+from repro.core import StaticPolicy
 from repro.errors import ConfigurationError
 from repro.experiments import run_policy, web_scenario
 from repro.experiments.persist import (
@@ -15,51 +17,114 @@ from repro.experiments.persist import (
     result_to_dict,
     save_results,
 )
-from repro.sim.fluid import FluidSimulator
-from repro.workloads import PoissonWorkload
 
 
 @pytest.fixture(scope="module")
-def run_result():
-    scenario = web_scenario(scale=5000.0, horizon=2 * 3600.0, track_fleet_series=True)
+def scenario():
+    return web_scenario(scale=5000.0, horizon=2 * 3600.0, track_fleet_series=True)
+
+
+@pytest.fixture(scope="module")
+def des_result(scenario):
     return run_policy(scenario, StaticPolicy(20), seed=0)
 
 
 @pytest.fixture(scope="module")
-def fluid_result():
-    w = PoissonWorkload(rate=2.0, base_service_time=1.0, exponential_service=False)
-    fluid = FluidSimulator(w, QoSTarget(max_response_time=3.0))
-    return fluid.run_static(4, horizon=600.0)
+def fluid_result(scenario):
+    return run_policy(scenario, StaticPolicy(20), seed=0, backend="fluid")
 
 
-def test_run_result_roundtrip(tmp_path, run_result):
+def test_des_result_roundtrip(tmp_path, des_result):
     path = tmp_path / "results.json"
-    save_results(path, [run_result])
+    save_results(path, [des_result])
     loaded = load_results(path)
-    assert loaded == [run_result]
+    assert loaded == [des_result]
+    assert loaded[0].backend == "des"
 
 
 def test_fluid_result_roundtrip(tmp_path, fluid_result):
     path = tmp_path / "fluid.json"
+    assert fluid_result.backend == "fluid"
     save_results(path, [fluid_result])
     assert load_results(path) == [fluid_result]
 
 
-def test_mixed_results_roundtrip(tmp_path, run_result, fluid_result):
+def test_mixed_results_roundtrip(tmp_path, des_result, fluid_result):
     path = tmp_path / "mixed.json"
-    save_results(path, [run_result, fluid_result])
+    save_results(path, [des_result, fluid_result])
     loaded = load_results(path)
-    assert loaded[0] == run_result
+    assert loaded[0] == des_result
     assert loaded[1] == fluid_result
+    assert [r.backend for r in loaded] == ["des", "fluid"]
 
 
-def test_dict_roundtrip_preserves_fleet_series(run_result):
-    blob = result_to_dict(run_result)
+def test_dict_roundtrip_preserves_series(des_result):
+    blob = result_to_dict(des_result)
     restored = result_from_dict(json.loads(json.dumps(blob)))
-    assert restored.fleet_series == run_result.fleet_series
+    assert restored.fleet_series == des_result.fleet_series
     assert isinstance(restored.fleet_series, tuple)
+    assert restored.control_series == des_result.control_series
+    assert isinstance(restored.control_series, tuple)
 
 
+# ----------------------------------------------------------------------
+# version-1 upgrade path
+# ----------------------------------------------------------------------
+def _v1_doc(blob):
+    return json.dumps({"format": "repro-results", "version": 1, "results": [blob]})
+
+
+def test_loads_v1_run_blobs(tmp_path, des_result):
+    # A v1 "run" blob is the RunMetrics payload minus the backend split.
+    data = dataclasses.asdict(des_result)
+    del data["backend"]
+    del data["control_series"]
+    path = tmp_path / "v1-run.json"
+    path.write_text(_v1_doc({"kind": "run", "data": data}))
+    (loaded,) = load_results(path)
+    assert loaded.backend == "des"
+    assert loaded.control_series == ()
+    assert loaded.scenario == des_result.scenario
+    assert loaded.accepted == des_result.accepted
+    assert loaded.fleet_series == des_result.fleet_series
+
+
+def test_loads_v1_fluid_blobs(tmp_path):
+    data = {
+        "total_requests": 1200.0,
+        "accepted": 1100.0,
+        "rejected": 100.0,
+        "rejection_rate": 100.0 / 1200.0,
+        "mean_response_time": 1.0,
+        "min_instances": 4,
+        "max_instances": 9,
+        "vm_hours": 0.5,
+        "utilization": 0.75,
+        "fleet_series": [[0.0, 4], [600.0, 9]],
+    }
+    path = tmp_path / "v1-fluid.json"
+    path.write_text(_v1_doc({"kind": "fluid", "data": data}))
+    (loaded,) = load_results(path)
+    assert loaded.backend == "fluid"
+    # Lossy upgrade: no identification or diagnostics in v1 blobs.
+    assert loaded.scenario == "unknown" and loaded.policy == "unknown"
+    assert loaded.seed == 0
+    assert loaded.completed == loaded.accepted == 1100.0
+    assert loaded.fleet_series == ((0.0, 4), (600.0, 9))
+    assert loaded.control_series == loaded.fleet_series
+    assert loaded.wall_seconds == 0.0 and loaded.events == 0
+
+
+def test_rejects_v1_fluid_blob_with_unknown_fields(tmp_path):
+    path = tmp_path / "v1-bad.json"
+    path.write_text(_v1_doc({"kind": "fluid", "data": {"surprise": 1}}))
+    with pytest.raises(ConfigurationError):
+        load_results(path)
+
+
+# ----------------------------------------------------------------------
+# rejection paths
+# ----------------------------------------------------------------------
 def test_rejects_foreign_files(tmp_path):
     path = tmp_path / "foreign.json"
     path.write_text(json.dumps({"format": "something-else"}))
@@ -77,6 +142,12 @@ def test_rejects_future_versions(tmp_path):
 def test_rejects_unknown_kind():
     with pytest.raises(ConfigurationError):
         result_from_dict({"kind": "mystery", "data": {}})
+
+
+def test_rejects_v2_legacy_kinds():
+    # The v1 kinds are not valid in a v2 file.
+    with pytest.raises(ConfigurationError):
+        result_from_dict({"kind": "run", "data": {}}, version=2)
 
 
 def test_rejects_non_result_objects():
