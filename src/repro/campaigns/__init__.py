@@ -1,0 +1,45 @@
+"""Campaign engine — declarative scenario-grid orchestration.
+
+A *campaign* is the paper's evaluation pattern generalized: a
+declarative ``(scenario × policy × backend × seed)`` grid
+(:class:`~repro.campaigns.spec.CampaignSpec`, loaded from TOML, JSON,
+or a plain dict) expanded into deterministic, content-addressed
+:class:`~repro.campaigns.spec.Cell`\\ s, executed through the existing
+replication pool with skip-if-cached and retry-on-worker-failure
+(:mod:`repro.campaigns.executor`), persisted in an on-disk result
+store keyed by a stable hash of each cell's full configuration
+(:mod:`repro.campaigns.store`), and aggregated back into paper-style
+tables (:mod:`repro.campaigns.report`).
+
+The store makes campaigns *crash-safe and resumable*: killing a run
+mid-grid loses nothing that already completed — re-running the same
+spec executes only the missing cells.  ``campaigns/paper.toml``
+reproduces the paper's entire §VI evaluation with one command::
+
+    repro campaign run campaigns/paper.toml
+    repro campaign status campaigns/paper.toml
+    repro campaign report campaigns/paper.toml --out results/
+
+Layering: this package sits *above* ``repro.experiments`` and
+``repro.backends`` (it may import both); nothing in the library
+imports it back (enforced by ``tools/check_layering.py``) — the CLI
+reaches it through a function-local import only.
+"""
+
+from .executor import CampaignResult, CellOutcome, run_campaign
+from .report import campaign_report, campaign_status_rows
+from .spec import CAMPAIGN_SCHEMA_VERSION, CampaignSpec, Cell, ScenarioGrid
+from .store import ResultStore
+
+__all__ = [
+    "CAMPAIGN_SCHEMA_VERSION",
+    "CampaignSpec",
+    "Cell",
+    "ScenarioGrid",
+    "ResultStore",
+    "CampaignResult",
+    "CellOutcome",
+    "run_campaign",
+    "campaign_report",
+    "campaign_status_rows",
+]

@@ -1,0 +1,377 @@
+"""Campaign executor — cells in, cached results out, crash-safe.
+
+The executor turns an expanded campaign grid into work for the
+existing replication machinery:
+
+* **skip-if-cached** — cells whose artifact already exists in the
+  :class:`~repro.campaigns.store.ResultStore` are never re-executed;
+* **grouping** — pending cells sharing ``(scenario, policy, backend)``
+  run as one :func:`~repro.experiments.runner.run_replications` call,
+  so a campaign inherits the process-pool parallelism (and its
+  bit-identical-to-sequential guarantee) for free;
+* **retry-on-worker-failure** — a group that dies in the pool is
+  retried sequentially in-process up to ``spec.retries`` times before
+  its cells are recorded as ``failed`` (the campaign continues with
+  the other groups either way);
+* **fluid prescreen** — optionally, each DES cell's *fluid twin*
+  (identical configuration, ``backend="fluid"``) is evaluated first;
+  twins are ordinary cells, so they cache like everything else, and a
+  DES cell whose analytical rejection rate already exceeds the spec's
+  threshold is skipped as ``screened`` instead of simulated;
+* **observability** — every cell transition emits a
+  ``campaign.cell.*`` event on the trace bus (schema-validated like
+  all events; ``t`` is wall-clock seconds since campaign start).
+
+Results land in the store *as each group finishes* via atomic writes,
+which is the whole resume story: kill the process at any point, run
+the same command again, and only the missing cells execute.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..experiments.runner import run_replications
+from ..obs.bus import TraceBus, TraceConfig
+from ..obs.log import get_logger, kv
+from .spec import CampaignSpec, Cell
+from .store import ResultStore
+
+_log = get_logger(__name__)
+
+__all__ = ["CellOutcome", "CampaignResult", "run_campaign"]
+
+#: Statuses a cell can end a campaign run in.
+_STATUSES = ("executed", "cached", "screened", "failed", "skipped")
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What happened to one cell during one campaign run.
+
+    ``status`` is one of ``executed`` (ran this time), ``cached``
+    (served from the store), ``screened`` (fluid prescreen ruled it
+    out), ``failed`` (all retries exhausted; ``error`` holds the
+    message), or ``skipped`` (left pending by ``max_cells``).
+    """
+
+    cell: Cell
+    status: str
+    error: Optional[str] = None
+
+
+@dataclass
+class CampaignResult:
+    """Summary of one :func:`run_campaign` invocation."""
+
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def by_status(self, status: str) -> List[Cell]:
+        return [o.cell for o in self.outcomes if o.status == status]
+
+    @property
+    def executed(self) -> List[Cell]:
+        return self.by_status("executed")
+
+    @property
+    def cached(self) -> List[Cell]:
+        return self.by_status("cached")
+
+    @property
+    def screened(self) -> List[Cell]:
+        return self.by_status("screened")
+
+    @property
+    def failed(self) -> List[Cell]:
+        return self.by_status("failed")
+
+    @property
+    def skipped(self) -> List[Cell]:
+        return self.by_status("skipped")
+
+    def counts(self) -> Dict[str, int]:
+        counts = {status: 0 for status in _STATUSES}
+        for o in self.outcomes:
+            counts[o.status] = counts.get(o.status, 0) + 1
+        return counts
+
+    def summary_line(self) -> str:
+        counts = self.counts()
+        parts = [f"{counts[s]} {s}" for s in _STATUSES if counts[s]]
+        return (
+            f"campaign: {len(self.outcomes)} cell(s) — "
+            + (", ".join(parts) if parts else "nothing to do")
+            + f"  ({self.wall_seconds:.2f}s)"
+        )
+
+
+def _group_cells(cells: Sequence[Cell]) -> List[Tuple[Cell, List[Cell]]]:
+    """Group cells sharing (scenario, params, policy, backend).
+
+    Returns ``(representative, members)`` pairs in first-seen order;
+    members differ only by seed, so one ``run_replications`` call
+    covers the whole group.
+    """
+    groups: Dict[Tuple, List[Cell]] = {}
+    order: List[Tuple] = []
+    for cell in cells:
+        gkey = (cell.scenario, cell.params, cell.policy, cell.backend)
+        if gkey not in groups:
+            groups[gkey] = []
+            order.append(gkey)
+        groups[gkey].append(cell)
+    return [(groups[g][0], groups[g]) for g in order]
+
+
+def _build_bus(
+    trace: Optional[Union[TraceBus, TraceConfig]], spec: CampaignSpec
+) -> Tuple[Optional[TraceBus], bool]:
+    """(bus, owns_it) — a TraceConfig builds a campaign-scoped bus."""
+    if trace is None:
+        return None, False
+    if isinstance(trace, TraceConfig):
+        return trace.build(scenario=spec.name, policy="campaign", seed=0), True
+    return trace, False
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: Optional[Union[str, ResultStore]] = None,
+    workers: Optional[int] = None,
+    quick: bool = False,
+    trace: Optional[Union[TraceBus, TraceConfig]] = None,
+    max_cells: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Execute (or resume) a campaign against its result store.
+
+    Parameters
+    ----------
+    spec:
+        The validated campaign.
+    store:
+        A :class:`~repro.campaigns.store.ResultStore`, a directory
+        path, or ``None`` for the spec's own store location.
+    workers:
+        Pool size per cell group; ``None`` uses ``spec.workers``
+        (0 = one per CPU).
+    quick:
+        Expand the grid with each scenario block's ``quick`` overrides
+        applied.  Quick cells hash differently from full cells — the
+        two grids never collide in the store.
+    trace:
+        ``None``, a live :class:`~repro.obs.bus.TraceBus`, or a
+        :class:`~repro.obs.bus.TraceConfig` (one campaign-scoped bus
+        is built and closed around the run).
+    max_cells:
+        Execute at most this many *new* cells, then leave the rest
+        pending (``skipped``) — the testing hook for interrupt/resume
+        semantics (cached and screened cells do not count).
+    progress:
+        Optional line sink (e.g. ``print``) for per-group progress.
+
+    Returns
+    -------
+    CampaignResult
+        One :class:`CellOutcome` per cell of the expanded grid.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(spec.store_path(store))
+    if workers is None:
+        workers = spec.workers
+    if workers == 0:  # 0 = auto: one worker per CPU
+        from ..experiments.parallel import default_workers
+
+        workers = default_workers()
+    pool_workers = max(1, int(workers))
+
+    cells = spec.expanded(quick=quick)
+    bus, owns_bus = _build_bus(trace, spec)
+    t0 = time.perf_counter()
+    elapsed = lambda: time.perf_counter() - t0  # noqa: E731 - event clock
+    say = progress or (lambda line: None)
+    result = CampaignResult()
+    emitted: Dict[str, CellOutcome] = {}
+
+    def finish(cell: Cell, status: str, error: Optional[str] = None) -> None:
+        emitted[cell.key()] = CellOutcome(cell, status, error)
+
+    try:
+        # ------------------------------------------------------------------
+        # 1. Serve everything already in the store.
+        # ------------------------------------------------------------------
+        pending: List[Cell] = []
+        for cell in cells:
+            if store.has(cell):
+                finish(cell, "cached")
+                if bus is not None:
+                    bus.emit("campaign.cell.cached", elapsed(), key=cell.key())
+            else:
+                pending.append(cell)
+        if len(cells) != len(pending):
+            say(f"cache: {len(cells) - len(pending)}/{len(cells)} cell(s) already stored")
+
+        # ------------------------------------------------------------------
+        # 2. Fluid prescreen of expensive DES cells (optional).
+        # ------------------------------------------------------------------
+        if spec.prescreen:
+            pending = _prescreen(spec, store, pending, bus, elapsed, finish, say)
+
+        # ------------------------------------------------------------------
+        # 3. Execute the remaining cells, group by group.
+        # ------------------------------------------------------------------
+        budget = max_cells if max_cells is not None else len(pending)
+        for head, members in _group_cells(pending):
+            if budget <= 0:
+                for cell in members:
+                    finish(cell, "skipped")
+                continue
+            batch, rest = members[:budget], members[budget:]
+            for cell in rest:
+                finish(cell, "skipped")
+            budget -= len(batch)
+            _run_group(spec, store, head, batch, pool_workers, bus, elapsed, finish, say)
+    finally:
+        if owns_bus and bus is not None:
+            bus.close()
+
+    # Report outcomes in grid order.
+    result.outcomes = [emitted[c.key()] for c in cells]
+    result.wall_seconds = elapsed()
+    return result
+
+
+def _prescreen(
+    spec: CampaignSpec,
+    store: ResultStore,
+    pending: Sequence[Cell],
+    bus: Optional[TraceBus],
+    elapsed: Callable[[], float],
+    finish: Callable,
+    say: Callable[[str], None],
+) -> List[Cell]:
+    """Drop DES cells whose fluid twin already violates the threshold."""
+    survivors: List[Cell] = []
+    for cell in pending:
+        if cell.backend != "des":
+            survivors.append(cell)
+            continue
+        twin = dataclasses.replace(cell, backend="fluid")
+        metrics = store.get(twin)
+        if metrics is None:
+            try:
+                metrics = run_replications(
+                    twin.build_scenario(),
+                    twin.policy_factory(),
+                    seeds=(twin.seed,),
+                    workers=1,
+                    backend="fluid",
+                )[0]
+            except Exception as exc:  # noqa: BLE001 - prescreen is advisory
+                _log.warning(
+                    "fluid prescreen failed; running the DES cell anyway: %s",
+                    kv(cell=cell.label(), error=repr(exc)),
+                )
+                survivors.append(cell)
+                continue
+            store.put(twin, metrics)
+        if metrics.rejection_rate > spec.prescreen_max_rejection:
+            store.mark_screened(cell, rejection_rate=metrics.rejection_rate)
+            finish(cell, "screened")
+            say(
+                f"screened {cell.label()}: fluid rejection "
+                f"{metrics.rejection_rate:.1%} > {spec.prescreen_max_rejection:.1%}"
+            )
+            if bus is not None:
+                bus.emit(
+                    "campaign.cell.screened",
+                    elapsed(),
+                    key=cell.key(),
+                    rejection_rate=float(metrics.rejection_rate),
+                )
+        else:
+            survivors.append(cell)
+    return survivors
+
+
+def _run_group(
+    spec: CampaignSpec,
+    store: ResultStore,
+    head: Cell,
+    batch: Sequence[Cell],
+    pool_workers: int,
+    bus: Optional[TraceBus],
+    elapsed: Callable[[], float],
+    finish: Callable,
+    say: Callable[[str], None],
+) -> None:
+    """One (scenario, policy, backend) group through the pool, with retry."""
+    seeds = [c.seed for c in batch]
+    by_seed = {c.seed: c for c in batch}
+    if bus is not None:
+        for cell in batch:
+            bus.emit(
+                "campaign.cell.start",
+                elapsed(),
+                key=cell.key(),
+                scenario=cell.scenario_label(),
+                policy=cell.policy_label,
+                backend=cell.backend,
+                seed=cell.seed,
+            )
+    scenario = head.build_scenario()
+    factory = head.policy_factory()
+    group_label = f"{head.scenario_label()}/{head.policy_label}/{head.backend}"
+    last_error: Optional[BaseException] = None
+    for attempt in range(spec.retries + 1):
+        # First attempt uses the pool; retries run sequentially so one
+        # crashed/OOM-killed worker cannot sink the group twice.
+        attempt_workers = pool_workers if attempt == 0 else 1
+        try:
+            t_start = elapsed()
+            results = run_replications(
+                scenario,
+                factory,
+                seeds=seeds,
+                workers=attempt_workers,
+                backend=head.backend,
+            )
+            for metrics in results:
+                cell = by_seed[metrics.seed]
+                store.put(cell, metrics)
+                finish(cell, "executed")
+                if bus is not None:
+                    bus.emit(
+                        "campaign.cell.done",
+                        elapsed(),
+                        key=cell.key(),
+                        wall_seconds=float(metrics.wall_seconds),
+                    )
+            say(
+                f"ran {group_label} seeds {seeds} "
+                f"({elapsed() - t_start:.2f}s)"
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - worker failures must not sink the campaign
+            last_error = exc
+            _log.warning(
+                "cell group failed: %s",
+                kv(
+                    group=group_label,
+                    seeds=len(seeds),
+                    attempt=attempt + 1,
+                    retries=spec.retries,
+                    error=repr(exc),
+                ),
+            )
+    error = repr(last_error)
+    for cell in batch:
+        store.mark_failed(cell, error)
+        finish(cell, "failed", error=error)
+        if bus is not None:
+            bus.emit("campaign.cell.failed", elapsed(), key=cell.key(), error=error)
+    say(f"FAILED {group_label} after {spec.retries + 1} attempt(s): {error}")

@@ -1,0 +1,123 @@
+"""Cross-cell aggregation — campaign results as paper-style tables.
+
+Two views over a campaign's store:
+
+* :func:`campaign_report` — the figure view: one row per
+  ``(scenario, policy, backend)`` group with the same metric columns
+  as the paper's Figure-5/6 panels, summarized across the group's
+  replication seeds by the shared
+  :func:`~repro.metrics.report.summary_cells` helper (mean, or
+  ``mean ± ci95`` with several seeds).  The result is a
+  :class:`~repro.experiments.figures.FigureData`, so the experiments
+  CLI's markdown/CSV writers work on campaigns unchanged.
+* :func:`campaign_status_rows` — the operational view: one row per
+  cell with its store status, backing ``repro campaign status`` and
+  the CI smoke job's completeness gate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..backends.base import RunMetrics
+from ..experiments.figures import FigureData, _PANEL_FIELDS
+from ..metrics.report import summary_cells
+from .spec import CampaignSpec, Cell
+from .store import ResultStore
+
+__all__ = ["campaign_report", "campaign_status_rows"]
+
+
+def _grouped(cells: List[Cell]) -> List[Tuple[Tuple, List[Cell]]]:
+    groups: Dict[Tuple, List[Cell]] = {}
+    order: List[Tuple] = []
+    for cell in cells:
+        gkey = (cell.scenario, cell.params, cell.policy, cell.backend)
+        if gkey not in groups:
+            groups[gkey] = []
+            order.append(gkey)
+        groups[gkey].append(cell)
+    return [(g, groups[g]) for g in order]
+
+
+def campaign_report(
+    spec: CampaignSpec,
+    store: ResultStore,
+    quick: bool = False,
+    ci: bool = True,
+) -> FigureData:
+    """Aggregate every stored cell into one paper-style summary table.
+
+    Groups with no stored results at all are reported with dashes so
+    an incomplete campaign still renders (the ``seeds`` column shows
+    ``found/wanted``).
+    """
+    headers = [
+        "scenario",
+        "policy",
+        "backend",
+        "seeds",
+        "min inst",
+        "max inst",
+        "rejection",
+        "utilization",
+        "VM hours",
+        "avg Tr (s)",
+        "std Tr (s)",
+        "QoS violations",
+    ]
+    rows: List[List[object]] = []
+    raw_results: Dict[str, List[RunMetrics]] = {}
+    for _, members in _grouped(spec.expanded(quick=quick)):
+        head = members[0]
+        results = [m for m in (store.get(c) for c in members) if m is not None]
+        label = f"{head.scenario_label()}/{head.policy_label}/{head.backend}"
+        raw_results[label] = results
+        prefix = [
+            head.scenario_label(),
+            head.policy_label,
+            head.backend,
+            f"{len(results)}/{len(members)}",
+        ]
+        if results:
+            rows.append(prefix + summary_cells(results, _PANEL_FIELDS, ci=ci))
+        else:
+            rows.append(prefix + ["-"] * len(_PANEL_FIELDS))
+    return FigureData(
+        experiment_id=f"campaign-{spec.name}" + ("-quick" if quick else ""),
+        title=f"Campaign report: {spec.name}"
+        + (f" — {spec.description}" if spec.description else ""),
+        headers=headers,
+        rows=rows,
+        raw={"results": raw_results, "spec": spec},
+    )
+
+
+def campaign_status_rows(
+    spec: CampaignSpec,
+    store: ResultStore,
+    quick: bool = False,
+) -> Tuple[List[str], List[List[object]], Dict[str, int]]:
+    """Per-cell status table + status counts for ``campaign status``.
+
+    Returns ``(headers, rows, counts)`` where ``counts`` maps each
+    observed status (``cached`` / ``screened`` / ``failed`` /
+    ``missing``) to its cell count.
+    """
+    headers = ["scenario", "policy", "backend", "seed", "status", "key"]
+    rows: List[List[object]] = []
+    counts: Dict[str, int] = {}
+    for cell in spec.expanded(quick=quick):
+        status = store.status_of(cell)
+        counts[status] = counts.get(status, 0) + 1
+        rows.append(
+            [
+                cell.scenario_label(),
+                cell.policy_label,
+                cell.backend,
+                cell.seed,
+                status,
+                cell.key()[:12],
+            ]
+        )
+    return headers, rows, counts

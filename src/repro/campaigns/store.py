@@ -1,0 +1,213 @@
+"""Content-addressed result store — the campaign engine's memory.
+
+Every executed cell is persisted as one versioned persist-v2 results
+file (see :mod:`repro.experiments.persist`) at a path derived from the
+cell's content hash::
+
+    <root>/cells/<key[:2]>/<key>.json
+    <root>/manifest.json
+
+The cell *files* are the source of truth: :meth:`ResultStore.has` and
+:meth:`ResultStore.get` consult the filesystem, so deleting one cell's
+artifact re-schedules exactly that cell on the next run, and a crash
+between a cell write and a manifest update loses nothing (writes are
+atomic ``tmp + os.replace`` renames, and the manifest is re-derivable
+at any time via :meth:`ResultStore.refresh_manifest`).
+
+The manifest is a human/CI-queryable index — one entry per known cell
+key with its identification, status (``cached`` / ``failed`` /
+``screened``), and relative artifact path — used by ``repro campaign
+status`` without loading any result payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from ..backends.base import RunMetrics
+from ..errors import ConfigurationError
+from ..experiments.persist import load_results, result_to_dict, _FORMAT, _VERSION
+from .spec import CAMPAIGN_SCHEMA_VERSION, Cell
+
+__all__ = ["ResultStore"]
+
+_MANIFEST_FORMAT = "repro-campaign-manifest"
+_MANIFEST_VERSION = 1
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write-then-rename so readers never see a torn file."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class ResultStore:
+    """On-disk cache of cell results, keyed by content hash.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on first write).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self._manifest: Optional[Dict[str, dict]] = None
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def path_for(self, cell: Cell) -> Path:
+        """The artifact path a cell's result lives at (may not exist)."""
+        key = cell.key()
+        return self.root / "cells" / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Cell results
+    # ------------------------------------------------------------------
+    def has(self, cell: Cell) -> bool:
+        """Whether this cell's result is already on disk."""
+        return self.path_for(cell).is_file()
+
+    def get(self, cell: Cell) -> Optional[RunMetrics]:
+        """The stored result, or ``None`` on a cache miss."""
+        path = self.path_for(cell)
+        if not path.is_file():
+            return None
+        results = load_results(path)
+        if len(results) != 1:
+            raise ConfigurationError(
+                f"{path}: cell artifact holds {len(results)} results, expected 1"
+            )
+        return results[0]
+
+    def put(self, cell: Cell, metrics: RunMetrics, status: str = "cached") -> Path:
+        """Persist one cell result atomically and index it."""
+        path = self.path_for(cell)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "campaign_schema": CAMPAIGN_SCHEMA_VERSION,
+            "cell": cell.config(),
+            "results": [result_to_dict(metrics)],
+        }
+        _atomic_write(path, json.dumps(doc, indent=1, sort_keys=True))
+        self._update_manifest(cell, status=status)
+        return path
+
+    def delete(self, cell: Cell) -> bool:
+        """Drop one cell's artifact (and its manifest entry)."""
+        path = self.path_for(cell)
+        existed = path.is_file()
+        if existed:
+            path.unlink()
+        manifest = self._load_manifest()
+        if manifest.pop(cell.key(), None) is not None or existed:
+            self._write_manifest(manifest)
+        return existed
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def _load_manifest(self) -> Dict[str, dict]:
+        if self._manifest is not None:
+            return self._manifest
+        if not self.manifest_path.is_file():
+            self._manifest = {}
+            return self._manifest
+        doc = json.loads(self.manifest_path.read_text())
+        if doc.get("format") != _MANIFEST_FORMAT:
+            raise ConfigurationError(f"{self.manifest_path}: not a campaign manifest")
+        if doc.get("version") != _MANIFEST_VERSION:
+            raise ConfigurationError(
+                f"{self.manifest_path}: unsupported manifest version "
+                f"{doc.get('version')!r} (this build reads {_MANIFEST_VERSION})"
+            )
+        self._manifest = dict(doc.get("cells", {}))
+        return self._manifest
+
+    def _write_manifest(self, manifest: Dict[str, dict]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "format": _MANIFEST_FORMAT,
+            "version": _MANIFEST_VERSION,
+            "campaign_schema": CAMPAIGN_SCHEMA_VERSION,
+            "cells": manifest,
+        }
+        _atomic_write(self.manifest_path, json.dumps(doc, indent=1, sort_keys=True))
+        self._manifest = manifest
+
+    def _update_manifest(self, cell: Cell, status: str, **extra: object) -> None:
+        manifest = self._load_manifest()
+        entry = dict(cell.config())
+        entry["status"] = status
+        path = self.path_for(cell)
+        # Only "cached" entries have an artifact; "failed" and
+        # "screened" are manifest-only records.
+        entry["file"] = str(path.relative_to(self.root)) if status == "cached" else None
+        entry.update(extra)
+        manifest[cell.key()] = entry
+        self._write_manifest(manifest)
+
+    def mark_failed(self, cell: Cell, error: str) -> None:
+        """Record a failed cell in the manifest (no artifact written)."""
+        self._update_manifest(cell, status="failed", error=error)
+
+    def mark_screened(self, cell: Cell, rejection_rate: float) -> None:
+        """Record a fluid-prescreened cell (no artifact written)."""
+        self._update_manifest(cell, status="screened", rejection_rate=rejection_rate)
+
+    def status_of(self, cell: Cell) -> str:
+        """``cached`` / ``screened`` / ``failed`` / ``missing`` for one cell.
+
+        Disk truth first: an artifact on disk is ``cached`` no matter
+        what the index says; manifest-only entries report their
+        recorded status (``screened`` / ``failed``); everything else is
+        ``missing``.
+        """
+        if self.has(cell):
+            return "cached"
+        entry = self._load_manifest().get(cell.key())
+        if entry and entry.get("status") in ("screened", "failed"):
+            return entry["status"]
+        return "missing"
+
+    def manifest(self) -> Dict[str, dict]:
+        """A copy of the manifest index (key → entry)."""
+        return dict(self._load_manifest())
+
+    def refresh_manifest(self, cells: Iterable[Cell]) -> Dict[str, dict]:
+        """Re-derive manifest entries for ``cells`` from the filesystem.
+
+        Heals the index after a crash between a cell write and the
+        manifest update: every on-disk artifact gains (or keeps) an
+        entry, entries whose artifact vanished are dropped (unless they
+        record a failure, which has no artifact by construction).
+        """
+        manifest = dict(self._load_manifest())
+        changed = False
+        for cell in cells:
+            key = cell.key()
+            entry = manifest.get(key)
+            if self.has(cell):
+                if entry is None or entry.get("status") != "cached":
+                    entry = dict(cell.config())
+                    entry["status"] = "cached"
+                    entry["file"] = str(self.path_for(cell).relative_to(self.root))
+                    manifest[key] = entry
+                    changed = True
+            elif entry is not None and entry.get("status") == "cached":
+                manifest.pop(key)
+                changed = True
+        if changed:
+            self._write_manifest(manifest)
+        return dict(manifest)

@@ -3,10 +3,11 @@
 Backs the ``repro-experiments bench`` CLI subcommand and the
 ``benchmarks/bench_parallel_runner.py`` suite with plain-`perf_counter`
 measurements that need no external harness: engine event throughput,
-Algorithm-1 cold vs cached decision latency, window sampling, and the
-sequential-vs-parallel replication runner.  Every function returns a
-JSON-safe dict so results can be diffed across commits
-(``BENCH_PR1.json`` records the first such trajectory).
+Algorithm-1 cold vs cached decision latency, window sampling, the
+sequential-vs-parallel replication runner, and the campaign engine's
+cold-vs-cached overhead.  Every function returns a JSON-safe dict so
+results can be diffed across commits (``BENCH_PR1.json`` records the
+first such trajectory, ``BENCH_PR4.json`` adds the campaign numbers).
 """
 
 from __future__ import annotations
@@ -31,6 +32,7 @@ __all__ = [
     "window_sampling",
     "parallel_runner",
     "trace_overhead",
+    "campaign_overhead",
     "kernel_bench",
 ]
 
@@ -188,6 +190,58 @@ def trace_overhead(
     }
 
 
+def campaign_overhead(
+    scale: float = 5000.0,
+    horizon: float = 6 * 3600.0,
+    seeds: str = "0-2",
+) -> Dict[str, Any]:
+    """Cold vs cached campaign run over a small fluid grid.
+
+    Measures what the campaign engine itself costs: the cold run pays
+    for every simulation, the warm re-run is served entirely from the
+    content-addressed store, so the ratio is the cache win and the warm
+    wall-clock is the pure orchestration overhead per cell.
+    """
+    import tempfile
+
+    # Imported lazily: repro.campaigns sits above the experiments layer,
+    # so a module-body import here would invert the layering rules.
+    from ..campaigns import CampaignSpec, ResultStore, run_campaign
+
+    spec = CampaignSpec.from_dict(
+        {
+            "campaign": {"name": "bench-overhead"},
+            "scenarios": [
+                {
+                    "scenario": "web",
+                    "scale": scale,
+                    "horizon": horizon,
+                    "policies": ["adaptive", "static-60"],
+                    "backends": ["fluid"],
+                    "seeds": seeds,
+                }
+            ],
+        }
+    )
+    cells = len(spec.expanded())
+    with tempfile.TemporaryDirectory() as root:
+        store = ResultStore(root)
+        t0 = time.perf_counter()
+        cold = run_campaign(spec, store=store, workers=1)
+        cold_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = run_campaign(spec, store=store, workers=1)
+        warm_wall = time.perf_counter() - t0
+    assert len(cold.executed) == cells and len(warm.cached) == cells
+    return {
+        "cells": cells,
+        "cold_seconds": cold_wall,
+        "warm_seconds": warm_wall,
+        "speedup": cold_wall / warm_wall if warm_wall > 0 else float("inf"),
+        "warm_seconds_per_cell": warm_wall / cells if cells else 0.0,
+    }
+
+
 def kernel_bench(
     events: int = 50_000,
     workers: Optional[int] = None,
@@ -204,6 +258,10 @@ def kernel_bench(
             scale=4000.0 if quick else 2000.0,
             horizon=(2 if quick else 6) * 3600.0,
             repeats=1 if quick else 2,
+        ),
+        "campaign_overhead": campaign_overhead(
+            horizon=(2 if quick else 6) * 3600.0,
+            seeds="0" if quick else "0-2",
         ),
     }
     if workers is not None and workers > 1:

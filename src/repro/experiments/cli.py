@@ -1,17 +1,20 @@
 """Command-line entry point: regenerate any paper artifact.
 
-Installed as ``repro-experiments``::
+Installed as ``repro`` (and the legacy alias ``repro-experiments``)::
 
-    repro-experiments list
-    repro-experiments run table2
-    repro-experiments run fig5 --scale 500 --seeds 0,1 --out results/
-    repro-experiments run fig5 --workers 4
-    repro-experiments run fig5 --backend fluid
-    repro-experiments run fig5-fluid
-    repro-experiments run all --quick
-    repro-experiments run fig5 --quick --trace traces/
-    repro-experiments trace traces/ --validate --timeline 20
-    repro-experiments bench --workers 4
+    repro list
+    repro run table2
+    repro run fig5 --scale 500 --seeds 0-1 --out results/
+    repro run fig5 --workers 4
+    repro run fig5 --backend fluid
+    repro run fig5-fluid
+    repro run all --quick
+    repro run fig5 --quick --trace traces/
+    repro trace traces/ --validate --timeline 20
+    repro bench --workers 4
+    repro campaign run campaigns/paper.toml
+    repro campaign status campaigns/paper.toml
+    repro campaign report campaigns/paper.toml --out results/
 
 Each experiment prints its table to stdout; ``--out DIR`` additionally
 writes ``<experiment>.md`` (markdown table) and ``<experiment>.csv``.
@@ -26,6 +29,14 @@ replication (control-plane events only unless ``--trace-requests``);
 ``trace`` renders such files back into a summary table, a timeline, or
 a narrated explanation of one Algorithm-1 decision, and validates them
 against the event schema.
+
+``campaign {run,status,report}`` drives declarative scenario-grid
+campaigns (:mod:`repro.campaigns`): ``run`` executes/resumes a spec
+against its content-addressed result store, ``status`` tabulates
+per-cell cache state, ``report`` aggregates stored cells into the
+paper-style summary table.  The campaigns package is imported lazily
+here — the library itself never depends on it (see
+``tools/check_layering.py``).
 """
 
 from __future__ import annotations
@@ -37,7 +48,8 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from ..errors import TraceSchemaError
+from .._version import __version__
+from ..errors import ConfigurationError, TraceSchemaError
 from ..metrics.report import format_markdown_table, format_table
 from ..obs.bus import TraceConfig
 from ..obs.render import explain_decision, render_timeline, trace_summary_table
@@ -45,6 +57,7 @@ from ..obs.schema import CONTROL_EVENTS, load_trace, validate_trace
 from ..sim.calendar import SECONDS_PER_DAY, SECONDS_PER_WEEK
 from . import figures
 from .runner import RunResult
+from .seeds import parse_seeds
 
 __all__ = ["main", "available_experiments"]
 
@@ -64,9 +77,10 @@ def available_experiments() -> Dict[str, str]:
 
 
 def _parse_seeds(spec: str) -> List[int]:
+    """CLI adapter over the shared grammar (comma lists + ``0-9`` ranges)."""
     try:
-        return [int(s) for s in spec.split(",") if s != ""]
-    except ValueError as exc:
+        return parse_seeds(spec)
+    except (ConfigurationError, ValueError) as exc:
         raise SystemExit(f"bad --seeds value {spec!r}: {exc}")
 
 
@@ -201,11 +215,81 @@ def _write_outputs(data: "figures.FigureData", out_dir: Path) -> None:
         writer.writerows(data.rows)
 
 
+def _campaign_command(args: argparse.Namespace) -> int:
+    """The ``campaign {run,status,report}`` handler.
+
+    :mod:`repro.campaigns` is imported *here*, not at module level: the
+    campaign engine sits above the experiments layer and nothing in the
+    library proper may depend on it (``tools/check_layering.py``).
+    """
+    from ..campaigns import (
+        CampaignSpec,
+        ResultStore,
+        campaign_report,
+        campaign_status_rows,
+        run_campaign,
+    )
+
+    try:
+        spec = CampaignSpec.load(args.spec)
+    except ConfigurationError as exc:
+        raise SystemExit(f"bad campaign spec: {exc}")
+    store = ResultStore(spec.store_path(args.store))
+
+    if args.campaign_command == "run":
+        trace = None
+        if args.trace:
+            trace = TraceConfig(
+                sink="jsonl",
+                path=args.trace,
+                events=tuple(sorted(CONTROL_EVENTS)),
+            )
+        try:
+            result = run_campaign(
+                spec,
+                store=store,
+                workers=args.workers,
+                quick=args.quick,
+                trace=trace,
+                max_cells=args.max_cells,
+                progress=print,
+            )
+        except ConfigurationError as exc:
+            raise SystemExit(f"campaign failed: {exc}")
+        print(result.summary_line())
+        return 1 if result.failed else 0
+
+    if args.campaign_command == "status":
+        headers, rows, counts = campaign_status_rows(spec, store, quick=args.quick)
+        title = f"campaign: {spec.name}" + (
+            f" — {spec.description}" if spec.description else ""
+        )
+        print(format_table(headers, rows, title=title))
+        total = sum(counts.values())
+        summary = ", ".join(f"{counts[s]} {s}" for s in sorted(counts))
+        print(f"\n{total} cell(s): {summary}  (store: {store.root})")
+        incomplete = total - counts.get("cached", 0) - counts.get("screened", 0)
+        if args.require_complete and incomplete:
+            print(f"INCOMPLETE: {incomplete} cell(s) not yet stored")
+            return 1
+        return 0
+
+    # report
+    data = campaign_report(spec, store, quick=args.quick)
+    print(format_table(data.headers, data.rows, title=data.title))
+    if args.out:
+        _write_outputs(data, Path(args.out))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
-        prog="repro-experiments",
+        prog="repro",
         description="Regenerate the tables and figures of Calheiros et al., ICPP 2011.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
@@ -272,12 +356,74 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     benchp.add_argument("--quick", action="store_true", help="smaller iteration counts for CI smoke runs")
     benchp.add_argument("--out", default=None, help="write the JSON report to this file as well")
+
+    campp = sub.add_parser(
+        "campaign", help="declarative scenario-grid campaigns (run/status/report)"
+    )
+    campsub = campp.add_subparsers(dest="campaign_command", required=True)
+    for name, chelp in (
+        ("run", "execute (or resume) a campaign spec against its result store"),
+        ("status", "per-cell cache status of a campaign"),
+        ("report", "aggregate stored cells into the paper-style summary table"),
+    ):
+        cp = campsub.add_parser(name, help=chelp)
+        cp.add_argument("spec", help="campaign spec file (.toml or .json)")
+        cp.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help="result-store directory (default: the spec's, else .campaigns/<name>)",
+        )
+        cp.add_argument(
+            "--quick",
+            action="store_true",
+            help="apply each scenario block's [scenarios.quick] overrides "
+            "(quick cells are stored separately from full-grid cells)",
+        )
+        if name == "run":
+            cp.add_argument(
+                "--workers",
+                type=int,
+                default=None,
+                help="process-pool size per cell group (default: the spec's; 0 = one per CPU)",
+            )
+            cp.add_argument(
+                "--max-cells",
+                type=int,
+                default=None,
+                metavar="N",
+                help="execute at most N new cells, then stop (interrupt/resume testing)",
+            )
+            cp.add_argument(
+                "--trace",
+                default=None,
+                metavar="PATH",
+                help="write campaign.cell.* lifecycle events to a JSONL trace",
+            )
+        if name == "status":
+            cp.add_argument(
+                "--require-complete",
+                action="store_true",
+                help="exit 1 unless every cell is cached or screened (CI gate)",
+            )
+        if name == "report":
+            cp.add_argument(
+                "--out", default=None, help="directory for .md/.csv outputs"
+            )
+
     args = parser.parse_args(argv)
 
-    if args.command == "list" or args.command is None:
+    if args.command is None:
+        parser.print_help()
+        return 0
+
+    if args.command == "list":
         for eid, desc in available_experiments().items():
             print(f"{eid:12s} {desc}")
         return 0
+
+    if args.command == "campaign":
+        return _campaign_command(args)
 
     if args.command == "trace":
         return _trace_command(args)

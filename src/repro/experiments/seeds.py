@@ -1,0 +1,68 @@
+"""Shared seed-list parsing for every sweep-shaped CLI surface.
+
+Replication seed lists appear wherever experiments fan out — the
+``repro run --seeds`` flag, campaign specs, ad-hoc scripts — and all of
+them accept the same grammar:
+
+* comma lists: ``"0,1,2"``;
+* inclusive ranges: ``"0-9"``;
+* any mix of the two: ``"0-3,7,10-11"``.
+
+Whitespace around items is ignored; the result preserves the order
+written, without deduplication (callers that need canonical seed sets
+sort/dedupe themselves — the campaign grid does).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+from ..errors import ConfigurationError
+
+__all__ = ["parse_seeds"]
+
+
+def _parse_item(item: str) -> List[int]:
+    if "-" in item and not item.startswith("-"):
+        lo_s, _, hi_s = item.partition("-")
+        lo, hi = int(lo_s), int(hi_s)
+        if hi < lo:
+            raise ConfigurationError(f"seed range {item!r} is empty ({hi} < {lo})")
+        return list(range(lo, hi + 1))
+    return [int(item)]
+
+
+def parse_seeds(spec: Union[str, int, Iterable[int]]) -> List[int]:
+    """Parse a seed specification into a list of ints.
+
+    Accepts an int, an iterable of ints, or a string of comma-separated
+    items where each item is either one seed (``"7"``) or an inclusive
+    range (``"0-9"``).
+
+    Raises
+    ------
+    ConfigurationError
+        On malformed items or empty ranges.
+
+    >>> parse_seeds("0-3,7")
+    [0, 1, 2, 3, 7]
+    """
+    if isinstance(spec, bool):
+        raise ConfigurationError(f"cannot interpret {spec!r} as seeds")
+    if isinstance(spec, int):
+        return [spec]
+    if not isinstance(spec, str):
+        try:
+            return [int(s) for s in spec]
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"cannot interpret {spec!r} as seeds: {exc}")
+    seeds: List[int] = []
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        try:
+            seeds.extend(_parse_item(item))
+        except ValueError as exc:
+            raise ConfigurationError(f"bad seed item {item!r} in {spec!r}: {exc}")
+    return seeds

@@ -97,6 +97,19 @@ EVENT_TYPES: Dict[str, Dict[str, tuple]] = {
         "offered": _FLOAT,
         "rejected": _FLOAT,
     },
+    # campaign engine: per-cell lifecycle (``t`` is wall-clock seconds
+    # since campaign start — campaigns have no simulation clock)
+    "campaign.cell.start": {
+        "key": (str,),
+        "scenario": (str,),
+        "policy": (str,),
+        "backend": (str,),
+        "seed": (int,),
+    },
+    "campaign.cell.cached": {"key": (str,)},
+    "campaign.cell.done": {"key": (str,), "wall_seconds": _FLOAT},
+    "campaign.cell.failed": {"key": (str,), "error": (str,)},
+    "campaign.cell.screened": {"key": (str,), "rejection_rate": _FLOAT},
 }
 
 #: The per-request event types — the only high-frequency ones.  CLI

@@ -1,0 +1,109 @@
+"""CLI surface: --version, bare help, and the campaign subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro._version import __version__
+from repro.experiments.cli import main
+
+
+def _write_spec(tmp_path, store_dir):
+    spec = {
+        "campaign": {"name": "cli-test", "description": "cli smoke"},
+        "store": {"path": str(store_dir)},
+        "scenarios": [
+            {
+                "scenario": "web",
+                "scale": 5000.0,
+                "horizon": 21600.0,
+                "policies": ["adaptive", "static-60"],
+                "backends": ["fluid"],
+                "seeds": "0-1",
+            }
+        ],
+    }
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps(spec))
+    return path
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_bare_invocation_prints_help_and_succeeds(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "usage:" in out
+    assert "campaign" in out
+
+
+def test_run_seeds_accepts_ranges(capsys):
+    assert main(["run", "fig4", "--seeds", "0-1"]) == 0
+    assert "Figure 4" in capsys.readouterr().out
+
+
+def test_campaign_run_status_report_roundtrip(tmp_path, capsys):
+    spec_path = _write_spec(tmp_path, tmp_path / "store")
+
+    # Interrupted run: two cells execute, two stay missing.
+    assert main(["campaign", "run", str(spec_path), "--max-cells", "2", "--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "2 executed" in out and "2 skipped" in out
+
+    assert main(["campaign", "status", str(spec_path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 cached" in out and "2 missing" in out
+    # The completeness gate fails while cells are missing.
+    assert main(["campaign", "status", str(spec_path), "--require-complete"]) == 1
+    capsys.readouterr()
+
+    # Resume completes the grid; second run is all cache hits.
+    assert main(["campaign", "run", str(spec_path), "--workers", "1"]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "status", str(spec_path), "--require-complete"]) == 0
+    assert "4 cached" in capsys.readouterr().out
+
+    out_dir = tmp_path / "out"
+    assert main(["campaign", "report", str(spec_path), "--out", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "Adaptive" in out and "Static-60" in out
+    md = (out_dir / "campaign-cli-test.md").read_text()
+    assert "| scenario |" in md
+
+
+def test_campaign_run_emits_schema_valid_trace(tmp_path, capsys):
+    spec_path = _write_spec(tmp_path, tmp_path / "store")
+    trace_dir = tmp_path / "traces"
+    assert (
+        main(
+            [
+                "campaign",
+                "run",
+                str(spec_path),
+                "--workers",
+                "1",
+                "--trace",
+                str(trace_dir) + "/",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    traces = list(trace_dir.glob("*.jsonl"))
+    assert len(traces) == 1
+    assert main(["trace", str(traces[0]), "--validate"]) == 0
+    assert "valid:" in capsys.readouterr().out
+
+
+def test_campaign_bad_spec_exits_cleanly(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"campaign": {"name": "x"}, "scenarios": []}))
+    with pytest.raises(SystemExit, match="bad campaign spec"):
+        main(["campaign", "run", str(path)])

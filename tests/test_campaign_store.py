@@ -1,0 +1,124 @@
+"""Content-addressed result store: round-trip, cache hits, manifest."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.campaigns import CampaignSpec, ResultStore
+from repro.campaigns.store import _MANIFEST_FORMAT
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_policy
+
+
+@pytest.fixture(scope="module")
+def spec() -> CampaignSpec:
+    return CampaignSpec.from_dict(
+        {
+            "campaign": {"name": "store-test"},
+            "scenarios": [
+                {
+                    "scenario": "web",
+                    "scale": 5000.0,
+                    "horizon": 21600.0,
+                    "policies": ["adaptive", "static-60"],
+                    "backends": ["fluid"],
+                    "seeds": "0-1",
+                }
+            ],
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def metrics(spec):
+    cell = spec.expanded()[0]
+    return run_policy(
+        cell.build_scenario(), cell.policy_factory()(), seed=cell.seed, backend="fluid"
+    )
+
+
+def test_round_trip_and_cache_hit(tmp_path, spec, metrics):
+    store = ResultStore(tmp_path)
+    cell = spec.expanded()[0]
+    assert not store.has(cell)
+    assert store.get(cell) is None
+    path = store.put(cell, metrics)
+    assert path.is_file()
+    assert store.has(cell)
+    loaded = store.get(cell)
+    # RunMetrics equality ignores only the profile timings.
+    assert loaded == metrics
+    assert store.status_of(cell) == "cached"
+
+
+def test_artifact_is_a_versioned_persist_document(tmp_path, spec, metrics):
+    store = ResultStore(tmp_path)
+    cell = spec.expanded()[0]
+    doc = json.loads(store.put(cell, metrics).read_text())
+    assert doc["format"] == "repro-results"
+    assert doc["cell"] == cell.config()
+    # Readable by the plain persist loader too.
+    from repro.experiments.persist import load_results
+
+    assert load_results(store.path_for(cell)) == [metrics]
+
+
+def test_delete_causes_exact_cache_miss(tmp_path, spec, metrics):
+    store = ResultStore(tmp_path)
+    cells = spec.expanded()
+    for cell in cells:
+        store.put(cell, dataclasses.replace(metrics, seed=cell.seed))
+    assert store.delete(cells[1])
+    assert [store.has(c) for c in cells] == [True, False, True, True]
+    assert store.status_of(cells[1]) == "missing"
+    assert not store.delete(cells[1])  # idempotent
+
+
+def test_manifest_tracks_statuses(tmp_path, spec, metrics):
+    store = ResultStore(tmp_path)
+    a, b, c, d = spec.expanded()
+    store.put(a, metrics)
+    store.mark_failed(b, "boom")
+    store.mark_screened(c, rejection_rate=0.75)
+    manifest = store.manifest()
+    assert manifest[a.key()]["status"] == "cached"
+    assert manifest[a.key()]["file"].startswith("cells/")
+    assert manifest[b.key()]["status"] == "failed"
+    assert manifest[b.key()]["error"] == "boom"
+    assert manifest[c.key()]["status"] == "screened"
+    assert manifest[c.key()]["rejection_rate"] == 0.75
+    assert store.status_of(b) == "failed"
+    assert store.status_of(c) == "screened"
+    assert store.status_of(d) == "missing"
+    doc = json.loads((tmp_path / "manifest.json").read_text())
+    assert doc["format"] == _MANIFEST_FORMAT
+
+
+def test_refresh_manifest_heals_after_crash(tmp_path, spec, metrics):
+    store = ResultStore(tmp_path)
+    cells = spec.expanded()
+    store.put(cells[0], metrics)
+    store.put(cells[1], metrics)
+    # Simulate a crash between artifact write and manifest update: drop
+    # the manifest entirely, then delete one artifact out from under it.
+    (tmp_path / "manifest.json").unlink()
+    store2 = ResultStore(tmp_path)
+    assert store2.manifest() == {}
+    healed = store2.refresh_manifest(cells)
+    assert healed[cells[0].key()]["status"] == "cached"
+    assert healed[cells[1].key()]["status"] == "cached"
+    assert cells[2].key() not in healed
+    # And the reverse: stale cached entry whose artifact vanished.
+    store2.path_for(cells[1]).unlink()
+    healed = store2.refresh_manifest(cells)
+    assert cells[1].key() not in healed
+
+
+def test_foreign_manifest_rejected(tmp_path, spec):
+    (tmp_path / "manifest.json").write_text(json.dumps({"format": "other"}))
+    store = ResultStore(tmp_path)
+    with pytest.raises(ConfigurationError, match="not a campaign manifest"):
+        store.manifest()

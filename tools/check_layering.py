@@ -13,6 +13,9 @@ stays engine-free and exactly one package knows both execution engines:
    engine ``repro.sim.fluid``.
 3. ``repro.core`` (the control plane) never imports ``repro.backends``
    or ``repro.experiments`` — it cannot know how it is executed.
+4. ``repro.campaigns`` (the orchestration layer) sits on top: it may
+   import experiments/backends, but nothing in the library imports it
+   back — the CLI reaches it through a function-local import only.
 
 Only *module-body* imports count (the ones executed on import): an
 import nested inside a function, method, or ``if TYPE_CHECKING:``
@@ -47,6 +50,10 @@ ALLOWED = ("repro.sim.calendar",)
 #: module prefixes only importable from inside these owner packages
 RESTRICTED = {
     "repro.sim.fluid": ("repro.backends", "repro.sim"),
+    # The campaign engine is the top of the stack: it orchestrates the
+    # layers below, so no library module may import it at module body
+    # (the CLI's lazy function-local import is exempt by design).
+    "repro.campaigns": ("repro.campaigns",),
 }
 
 
@@ -118,7 +125,7 @@ def check(src_root: Path) -> List[str]:
                 if _hits(target, (restricted,)) and not _hits(module, owners):
                     violations.append(
                         f"{path}:{lineno}: {module} imports {target} "
-                        f"(only {' / '.join(owners)} may import the fluid engine)"
+                        f"(only {' / '.join(owners)} may import {restricted})"
                     )
     return violations
 
