@@ -14,7 +14,6 @@ comparison benefits from).
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING, Optional, Union
 
 from ..cloud.admission import AdmissionControl
@@ -27,7 +26,7 @@ from ..core.context import SimulationContext
 from ..core.policies import ProvisioningPolicy
 from ..metrics.collector import MetricsCollector
 from ..obs.bus import TraceBus, TraceConfig
-from ..obs.profile import RunProfile
+from ..obs.profile import RunProfile, Stopwatch
 from ..sim.engine import Engine
 from ..sim.rng import RandomStreams
 from .base import RunMetrics
@@ -161,10 +160,10 @@ class DESBackend:
                 ctx = build_context(scenario, seed, balancer, tracer=tracer, audit=audit)
                 policy.attach(ctx)
                 ctx.source.start()
-            t_start = time.perf_counter()
+            watch = Stopwatch()
             with profile.phase("run"):
                 ctx.engine.run(until=scenario.horizon)
-            wall = time.perf_counter() - t_start
+            wall = watch.elapsed()
             with profile.phase("finalize"):
                 now = ctx.engine.now
                 ctx.metrics.finalize(now, ctx.datacenter.vm_hours(now))

@@ -17,7 +17,6 @@ concept with no fluid counterpart and are rejected if passed.
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING, Optional, Union
 
 from ..cloud.datacenter import Datacenter
@@ -25,7 +24,7 @@ from ..cloud.vm import DEFAULT_VM_SPEC
 from ..core.policies import AdaptivePolicy, ProvisioningPolicy, StaticPolicy
 from ..errors import ConfigurationError
 from ..obs.bus import TraceBus, TraceConfig
-from ..obs.profile import RunProfile
+from ..obs.profile import RunProfile, Stopwatch
 from ..sim.fluid import FluidSimulator
 from .base import RunMetrics
 
@@ -121,7 +120,7 @@ class FluidBackend:
                         f"the fluid backend cannot execute {type(policy).__name__}; "
                         "supported policies are StaticPolicy and AdaptivePolicy"
                     )
-            t_start = time.perf_counter()
+            watch = Stopwatch()
             with profile.phase("run"):
                 if control is not None:
                     agg = sim.run_adaptive(control, scenario.horizon, tracer=tracer)
@@ -129,7 +128,7 @@ class FluidBackend:
                     agg = sim.run_static(
                         policy.instances, scenario.horizon, tracer=tracer
                     )
-            wall = time.perf_counter() - t_start
+            wall = watch.elapsed()
             with profile.phase("finalize"):
                 scale = scenario.scale
                 cache_hits = control.cache_hits if control is not None else 0

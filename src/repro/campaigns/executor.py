@@ -30,13 +30,13 @@ the same command again, and only the missing cells execute.
 from __future__ import annotations
 
 import dataclasses
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..experiments.runner import run_replications
 from ..obs.bus import TraceBus, TraceConfig
 from ..obs.log import get_logger, kv
+from ..obs.profile import Stopwatch
 from .spec import CampaignSpec, Cell
 from .store import ResultStore
 
@@ -191,8 +191,9 @@ def run_campaign(
 
     cells = spec.expanded(quick=quick)
     bus, owns_bus = _build_bus(trace, spec)
-    t0 = time.perf_counter()
-    elapsed = lambda: time.perf_counter() - t0  # noqa: E731 - event clock
+    # Event clock for campaign.cell.* traces: wall-clock seconds since
+    # campaign start, read through the sanctioned duration meter.
+    elapsed = Stopwatch().elapsed
     say = progress or (lambda line: None)
     result = CampaignResult()
     emitted: Dict[str, CellOutcome] = {}

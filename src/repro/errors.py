@@ -20,6 +20,7 @@ __all__ = [
     "WorkloadError",
     "PredictionError",
     "TraceSchemaError",
+    "LintError",
 ]
 
 
@@ -88,4 +89,14 @@ class TraceSchemaError(ReproError):
 
     Raised by :mod:`repro.obs.schema` validation; the message carries
     the event position / file line and the offending field.
+    """
+
+
+class LintError(ReproError):
+    """:mod:`repro.lint` could not complete a run.
+
+    Usage or internal failures — unknown rule names, missing paths,
+    unreadable baselines, unparsable source, a crashing rule — as
+    opposed to findings, which are ordinary results.  The CLI maps
+    this to exit code 2 (findings exit 1, clean trees 0).
     """

@@ -12,6 +12,8 @@ Installed as ``repro`` (and the legacy alias ``repro-experiments``)::
     repro run fig5 --quick --trace traces/
     repro trace traces/ --validate --timeline 20
     repro bench --workers 4
+    repro lint src tests
+    repro lint src --format json --baseline .reprolint.json
     repro campaign run campaigns/paper.toml
     repro campaign status campaigns/paper.toml
     repro campaign report campaigns/paper.toml --out results/
@@ -35,8 +37,13 @@ campaigns (:mod:`repro.campaigns`): ``run`` executes/resumes a spec
 against its content-addressed result store, ``status`` tabulates
 per-cell cache state, ``report`` aggregates stored cells into the
 paper-style summary table.  The campaigns package is imported lazily
-here — the library itself never depends on it (see
-``tools/check_layering.py``).
+here — the library itself never depends on it (the ``layering`` lint
+rule enforces that).
+
+``lint`` runs the project's static-analysis rules (:mod:`repro.lint`,
+see docs/static-analysis.md) with the contract CI relies on: exit 0 on
+a clean tree, 1 on findings, 2 on internal error.  Like campaigns, the
+lint package is a top layer imported lazily here.
 """
 
 from __future__ import annotations
@@ -282,6 +289,75 @@ def _campaign_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_command(args: argparse.Namespace) -> int:
+    """The ``lint`` handler — exit 0 clean / 1 findings / 2 internal error.
+
+    :mod:`repro.lint` is imported *here*, not at module level: like the
+    campaign engine it is a top layer nothing in the library proper may
+    depend on (its own ``layering`` rule enforces that).
+    """
+    from ..errors import LintError
+    from ..lint import (
+        Baseline,
+        apply_baseline,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    try:
+        rules = None
+        if args.rules:
+            rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        result = run_lint(args.paths, rules=rules)
+
+        baseline_path = args.baseline
+        if baseline_path is None and Path(".reprolint.json").is_file():
+            baseline_path = ".reprolint.json"
+        if args.update_baseline:
+            target = baseline_path or ".reprolint.json"
+            Baseline.from_findings(result.findings).save(target)
+            print(
+                f"baseline {target}: {len(result.findings)} finding(s) recorded"
+            )
+            return 0
+        if baseline_path is not None:
+            baseline = Baseline.load(baseline_path)
+            fresh, baselined, stale = apply_baseline(result.findings, baseline)
+        else:
+            fresh, baselined, stale = result.findings, [], []
+
+        if args.format == "json":
+            print(
+                render_json(
+                    fresh,
+                    result.files,
+                    result.rules,
+                    suppressed=result.suppressed,
+                    baselined=baselined,
+                    stale_baseline=stale,
+                )
+            )
+        else:
+            print(
+                render_text(
+                    fresh,
+                    result.files,
+                    suppressed=result.suppressed,
+                    baselined=baselined,
+                    stale_baseline=stale,
+                    fix_hints=args.fix_hints,
+                )
+            )
+        return 1 if fresh else 0
+    except LintError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # noqa: BLE001 - internal errors are exit 2, not a traceback
+        print(f"repro lint: internal error: {exc!r}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -357,6 +433,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     benchp.add_argument("--quick", action="store_true", help="smaller iteration counts for CI smoke runs")
     benchp.add_argument("--out", default=None, help="write the JSON report to this file as well")
 
+    lintp = sub.add_parser(
+        "lint",
+        help="project-specific static analysis (determinism, layering, "
+        "trace-schema, pool-safety, float-compare)",
+    )
+    lintp.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    lintp.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is the stable CI contract)",
+    )
+    lintp.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline of grandfathered findings (default: .reprolint.json "
+        "when it exists; baselined findings do not fail the run)",
+    )
+    lintp.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    lintp.add_argument(
+        "--fix-hints",
+        action="store_true",
+        help="print the remediation line under each finding (text format)",
+    )
+    lintp.add_argument(
+        "--rules",
+        default=None,
+        metavar="R1,R2",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+
     campp = sub.add_parser(
         "campaign", help="declarative scenario-grid campaigns (run/status/report)"
     )
@@ -424,6 +541,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "campaign":
         return _campaign_command(args)
+
+    if args.command == "lint":
+        return _lint_command(args)
 
     if args.command == "trace":
         return _trace_command(args)

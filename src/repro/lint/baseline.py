@@ -1,0 +1,127 @@
+"""Baseline file — grandfathered findings, committed and reviewed.
+
+The baseline is the escape hatch for adopting a new rule on an old
+tree: run ``repro lint --update-baseline`` once, commit the resulting
+JSON, and CI goes green while the debt is paid down.  Three behaviours
+matter:
+
+* **match** — a current finding whose fingerprint appears in the
+  baseline is reported as *baselined* and does not fail the run;
+  matching consumes entries with multiplicity, so two identical
+  violations need two entries;
+* **expire** — a baseline entry with no matching finding is *stale*
+  (the violation was fixed); stale entries are reported so they get
+  removed, and ``--update-baseline`` rewrites the file without them;
+* **add** — ``--update-baseline`` snapshots the current findings as
+  the new baseline (an empty tree writes an empty baseline).
+
+The repository policy (docs/static-analysis.md) is that the committed
+baseline holds **zero entries at merge time** — CI asserts it — so the
+mechanism exists for transitions, not as a parking lot.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..errors import LintError
+from .findings import Finding
+
+__all__ = ["BASELINE_VERSION", "Baseline", "apply_baseline"]
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """In-memory form of the committed baseline file."""
+
+    def __init__(self, entries: Sequence[Dict[str, object]] = ()) -> None:
+        #: Each entry: ``{"rule", "path", "message", "fingerprint"}``.
+        self.entries: List[Dict[str, object]] = [dict(e) for e in entries]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """Snapshot findings into baseline entries (sorted, readable)."""
+        entries = [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+                "fingerprint": f.fingerprint(),
+            }
+            for f in sorted(findings)
+        ]
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; raises :class:`LintError` when unusable."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise LintError(f"baseline {path} is not valid JSON: {exc}") from None
+        if not isinstance(data, dict) or "entries" not in data:
+            raise LintError(f"baseline {path} has no 'entries' list")
+        version = data.get("version", BASELINE_VERSION)
+        if version != BASELINE_VERSION:
+            raise LintError(
+                f"baseline {path} has unsupported version {version!r} "
+                f"(this tool writes version {BASELINE_VERSION})"
+            )
+        entries = data["entries"]
+        if not isinstance(entries, list) or not all(
+            isinstance(e, dict) and "fingerprint" in e for e in entries
+        ):
+            raise LintError(
+                f"baseline {path}: every entry must be an object with a 'fingerprint'"
+            )
+        return cls(entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the committed JSON form (stable key order, newline-terminated)."""
+        blob = json.dumps(
+            {"version": BASELINE_VERSION, "entries": self.entries},
+            indent=2,
+            sort_keys=True,
+        )
+        Path(path).write_text(blob + "\n", encoding="utf-8")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, object]]]:
+    """Split findings by the baseline.
+
+    Returns ``(fresh, baselined, stale_entries)``: findings not covered
+    by the baseline (these fail the run), findings absorbed by it, and
+    baseline entries whose violation no longer exists (candidates for
+    removal via ``--update-baseline``).
+    """
+    budget = Counter(str(e["fingerprint"]) for e in baseline.entries)
+    fresh: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        fp = finding.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            baselined.append(finding)
+        else:
+            fresh.append(finding)
+    stale: List[Dict[str, object]] = []
+    remaining = dict(budget)
+    for entry in baseline.entries:
+        fp = str(entry["fingerprint"])
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            stale.append(dict(entry))
+    return fresh, baselined, stale

@@ -1,0 +1,89 @@
+"""Rule protocol and registry.
+
+A rule is a small stateful object constructed fresh for every lint run
+(rules may accumulate cross-module state, e.g. the trace-schema rule's
+emit-site census).  Rules register themselves with :func:`register` at
+import time; :func:`build_rules` instantiates the requested subset.
+
+Two hooks:
+
+* :meth:`Rule.check_module` — called once per scanned module, in path
+  order, with a :class:`~repro.lint.runner.ModuleContext`;
+* :meth:`Rule.finalize` — called once after every module has been
+  seen, with the whole :class:`~repro.lint.runner.Project`; this is
+  where whole-program checks (cross-references, never-used entries)
+  report.
+
+Both yield :class:`~repro.lint.findings.Finding` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+from ..errors import LintError
+from .findings import Finding
+
+__all__ = ["Rule", "register", "rule_names", "build_rules", "rule_descriptions"]
+
+
+class Rule:
+    """Base class for lint rules (subclass, set ``name``, register)."""
+
+    #: Rule id — the token used in ``# reprolint: disable=<name>``,
+    #: ``--rules`` and baseline entries.
+    name: str = ""
+    #: One-line summary shown by the documentation/reporters.
+    description: str = ""
+
+    def check_module(self, ctx: "ModuleContext") -> Iterator[Finding]:  # noqa: F821
+        """Per-module findings (default: none)."""
+        return iter(())
+
+    def finalize(self, project: "Project") -> Iterator[Finding]:  # noqa: F821
+        """Whole-project findings after every module was scanned."""
+        return iter(())
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.name:
+        raise LintError(f"rule class {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise LintError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def rule_names() -> List[str]:
+    """All registered rule ids, sorted."""
+    from . import rules  # noqa: F401 - importing registers the built-ins
+
+    return sorted(_REGISTRY)
+
+
+def rule_descriptions() -> Dict[str, str]:
+    """rule id → one-line description (for ``--help`` style listings)."""
+    from . import rules  # noqa: F401
+
+    return {name: _REGISTRY[name].description for name in sorted(_REGISTRY)}
+
+
+def build_rules(names: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Fresh instances of the requested rules (all when ``names`` is None)."""
+    from . import rules  # noqa: F401 - importing registers the built-ins
+
+    if names is None:
+        selected = sorted(_REGISTRY)
+    else:
+        selected = list(names)
+        unknown = [n for n in selected if n not in _REGISTRY]
+        if unknown:
+            raise LintError(
+                f"unknown rule(s) {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(sorted(_REGISTRY))}"
+            )
+    return [_REGISTRY[name]() for name in selected]

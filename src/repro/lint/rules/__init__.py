@@ -1,0 +1,11 @@
+"""Built-in rules — importing this package registers them all.
+
+One module per rule family; each module's docstring is the rule's
+authoritative rationale (docs/static-analysis.md summarizes them).
+"""
+
+from __future__ import annotations
+
+from . import determinism, floatcmp, layering, poolsafety, traceschema
+
+__all__ = ["determinism", "floatcmp", "layering", "poolsafety", "traceschema"]

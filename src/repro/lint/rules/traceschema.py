@@ -1,0 +1,236 @@
+"""Rule ``trace-schema`` — emit sites and the event registry must agree.
+
+Every trace event the library emits is validated at runtime against
+:data:`repro.obs.schema.EVENT_TYPES` — but only *if* something emits
+it with tracing on.  This rule closes the static gap in both
+directions by cross-checking against the **live registry** (imported
+from :mod:`repro.obs.schema`, never a copied list):
+
+* an ``emit("name", ...)`` call site whose name is not registered
+  would raise :class:`~repro.errors.TraceSchemaError` on the first
+  traced run — flagged at the call site;
+* a registered event type that no ``repro.*`` module ever emits is
+  dead schema (documentation promising events that never happen) —
+  flagged at its registry line in ``repro/obs/schema.py``;
+* an emit whose event name cannot be resolved statically defeats both
+  checks — flagged, with two sanctioned shapes that *are* resolved:
+  a conditional of two literals (``"a" if cond else "b"``) and a
+  *forwarding wrapper* (a function that passes one of its own
+  parameters straight through as the event name, e.g.
+  ``ApplicationFleet._emit_vm``); wrapper call sites are then held to
+  the same literal-name standard.
+
+The never-emitted check only runs when ``repro.obs.schema`` itself is
+among the scanned modules (i.e. the scan covers the library source) —
+linting ``tests/`` alone must not report the whole registry as dead.
+Call sites in non-``repro`` modules (tests emit synthetic events on
+purpose) are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ...obs.schema import EVENT_TYPES
+from ..astutil import literal_strings, walk_with_function
+from ..findings import Finding
+from ..registry import Rule, register
+
+__all__ = ["TraceSchemaRule"]
+
+#: The bus module defines ``emit`` — its body is not a call site.
+_BUS_MODULE = "repro.obs.bus"
+_SCHEMA_MODULE = "repro.obs.schema"
+
+_REGISTER_HINT = (
+    "register the event (with its required payload fields) in "
+    "repro.obs.schema.EVENT_TYPES"
+)
+_LITERAL_HINT = (
+    "pass the event name as a string literal (or a conditional of two "
+    "literals, or a wrapper parameter forwarded verbatim) so the "
+    "schema cross-check can see it"
+)
+_DEAD_HINT = (
+    "emit the event somewhere, or delete its registry entry (and its "
+    "docs) if the instrumentation was removed"
+)
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    """Bare name of the called function/method (``emit``, ``_emit_vm``)."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _param_names(func: ast.AST) -> List[str]:
+    """Positional parameter names of a FunctionDef (incl. self)."""
+    args = func.args
+    return [a.arg for a in args.posonlyargs + args.args]
+
+
+@register
+class TraceSchemaRule(Rule):
+    name = "trace-schema"
+    description = (
+        "every emitted trace event name is registered in "
+        "repro.obs.schema, and every registered event is emitted"
+    )
+
+    def __init__(self) -> None:
+        self._modules: List = []
+
+    def check_module(self, ctx) -> Iterator[Finding]:
+        # Collection only — all findings are produced in finalize(),
+        # once the whole project (wrappers included) has been seen.
+        module = ctx.module
+        if (module == "repro" or module.startswith("repro.")) and not (
+            module == _BUS_MODULE or module.startswith("repro.lint")
+        ):
+            self._modules.append(ctx)
+        return iter(())
+
+    # ------------------------------------------------------------------
+    def finalize(self, project) -> Iterator[Finding]:
+        #: event name → first (path, line) that emits it
+        emitted: Dict[str, Tuple[str, int]] = {}
+        findings: List[Finding] = []
+        #: names of forwarding-wrapper functions discovered in pass 1
+        wrappers: Set[str] = set()
+        #: emit calls that sit inside a wrapper body (not call sites)
+        wrapper_emit_calls: Set[int] = set()
+
+        # Pass 1: direct emit(...) call sites; discover wrappers.
+        for ctx in self._modules:
+            for node, func in walk_with_function(ctx.tree):
+                if not isinstance(node, ast.Call) or _callee_name(node) != "emit":
+                    continue
+                if not node.args:
+                    continue
+                names = literal_strings(node.args[0])
+                if names is not None:
+                    for name in names:
+                        emitted.setdefault(name, (ctx.rel, node.lineno))
+                        if name not in EVENT_TYPES:
+                            findings.append(
+                                Finding(
+                                    path=ctx.rel,
+                                    line=node.lineno,
+                                    col=node.col_offset,
+                                    rule=self.name,
+                                    message=(
+                                        f"emit of unregistered trace event "
+                                        f"{name!r} (would fail schema "
+                                        "validation at runtime)"
+                                    ),
+                                    hint=_REGISTER_HINT,
+                                )
+                            )
+                    continue
+                arg = node.args[0]
+                if (
+                    func is not None
+                    and isinstance(arg, ast.Name)
+                    and arg.id in _param_names(func)
+                ):
+                    # Forwarding wrapper: hold its call sites to the
+                    # literal-name standard in pass 2.
+                    wrappers.add(func.name)
+                    wrapper_emit_calls.add(id(node))
+                    continue
+                findings.append(
+                    Finding(
+                        path=ctx.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule=self.name,
+                        message=(
+                            f"emit with a dynamic event name in {ctx.module} "
+                            "defeats static schema checking"
+                        ),
+                        hint=_LITERAL_HINT,
+                    )
+                )
+
+        # Pass 2: wrapper call sites count as emissions of their
+        # literal first argument.
+        for ctx in self._modules:
+            for node, _func in walk_with_function(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = _callee_name(node)
+                if callee not in wrappers or callee == "emit":
+                    continue
+                if not node.args:
+                    continue
+                names = literal_strings(node.args[0])
+                if names is None:
+                    findings.append(
+                        Finding(
+                            path=ctx.rel,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            rule=self.name,
+                            message=(
+                                f"call of trace wrapper {callee}() with a "
+                                "dynamic event name defeats static schema "
+                                "checking"
+                            ),
+                            hint=_LITERAL_HINT,
+                        )
+                    )
+                    continue
+                for name in names:
+                    emitted.setdefault(name, (ctx.rel, node.lineno))
+                    if name not in EVENT_TYPES:
+                        findings.append(
+                            Finding(
+                                path=ctx.rel,
+                                line=node.lineno,
+                                col=node.col_offset,
+                                rule=self.name,
+                                message=(
+                                    f"emit of unregistered trace event "
+                                    f"{name!r} via wrapper {callee}() "
+                                    "(would fail schema validation at runtime)"
+                                ),
+                                hint=_REGISTER_HINT,
+                            )
+                        )
+
+        yield from findings
+
+        # Dead-schema direction — only when the scan covered the
+        # registry module itself.
+        schema_ctx = next(
+            (c for c in self._modules if c.module == _SCHEMA_MODULE), None
+        )
+        if schema_ctx is None:
+            return
+        for event in EVENT_TYPES:
+            if event in emitted:
+                continue
+            yield Finding(
+                path=schema_ctx.rel,
+                line=self._registry_line(schema_ctx, event),
+                col=0,
+                rule=self.name,
+                message=(
+                    f"registered trace event {event!r} is never emitted "
+                    "by any library module"
+                ),
+                hint=_DEAD_HINT,
+            )
+
+    @staticmethod
+    def _registry_line(schema_ctx, event: str) -> int:
+        """Line of the event's registry entry (best effort, else 1)."""
+        needle = f'"{event}"'
+        for lineno, line in enumerate(schema_ctx.lines, start=1):
+            if needle in line:
+                return lineno
+        return 1

@@ -1,0 +1,205 @@
+"""Lint driver — file discovery, parsing, rule dispatch, suppression.
+
+:func:`run_lint` is the programmatic entry point (the CLI's ``repro
+lint`` and ``tools/check_layering.py`` both sit on it):
+
+1. expand the given paths into ``.py`` files (directories recurse);
+2. parse each into a :class:`ModuleContext` carrying the AST, the
+   source lines (for suppression directives) and the *dotted module
+   name*, resolved by walking up through ``__init__.py`` packages —
+   ``src/repro/sim/rng.py`` → ``repro.sim.rng``, while a test file
+   outside any package resolves to its bare stem.  Rules key their
+   applicability on that name, which is why linting ``tests/`` is safe:
+   repro-only rules simply do not fire there;
+3. run every rule over every module, then give each rule a
+   :meth:`~repro.lint.registry.Rule.finalize` pass over the whole
+   project (cross-module checks);
+4. drop findings silenced by inline ``# reprolint: disable=`` comments.
+
+Baseline handling deliberately stays *outside* this function — the CLI
+applies it so programmatic callers (tests, the shim) always see the
+full picture.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
+
+from ..errors import LintError
+from .findings import Finding
+from .registry import Rule, build_rules
+from .suppress import is_suppressed, line_suppressions
+
+__all__ = ["ModuleContext", "Project", "LintResult", "run_lint", "module_name_for"]
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may want to know about one scanned file."""
+
+    path: Path
+    #: Display / baseline path — relative to the lint root, POSIX slashes.
+    rel: str
+    #: Dotted module name (``repro.sim.rng``) or the bare stem for
+    #: files outside any package.
+    module: str
+    tree: ast.Module
+    lines: List[str]
+
+    @property
+    def suppressions(self) -> Dict[int, FrozenSet[str]]:
+        cached = getattr(self, "_suppressions", None)
+        if cached is None:
+            cached = line_suppressions(self.lines)
+            object.__setattr__(self, "_suppressions", cached)
+        return cached
+
+
+@dataclass
+class Project:
+    """All scanned modules, for whole-program rule passes."""
+
+    modules: List[ModuleContext] = field(default_factory=list)
+
+    def get(self, module: str) -> Optional[ModuleContext]:
+        for ctx in self.modules:
+            if ctx.module == module:
+                return ctx
+        return None
+
+
+@dataclass
+class LintResult:
+    """Outcome of one :func:`run_lint` call (baseline not yet applied)."""
+
+    findings: List[Finding]
+    files: int
+    suppressed: int
+    rules: List[str]
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path`` by walking up the package chain."""
+    path = path.resolve()
+    parts = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    parts.reverse()
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def discover_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen = set()
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        elif p.is_file():
+            if p.suffix != ".py":
+                raise LintError(f"not a Python file: {p}")
+            candidates = [p]
+        else:
+            raise LintError(f"path not found: {p}")
+        for c in candidates:
+            r = c.resolve()
+            if r not in seen:
+                seen.add(r)
+                out.append(c)
+    return out
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        return path.as_posix()
+    return rel.as_posix()
+
+
+def _parse(path: Path) -> "tuple[ast.Module, str]":
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise LintError(f"cannot read {path}: {exc}") from None
+    try:
+        return ast.parse(source, filename=str(path)), source
+    except SyntaxError as exc:
+        raise LintError(f"{path}: syntax error: {exc.msg} (line {exc.lineno})") from None
+
+
+def load_module(path: Path, root: Path) -> ModuleContext:
+    """Parse one file into a :class:`ModuleContext`."""
+    tree, source = _parse(path)
+    return ModuleContext(
+        path=path,
+        rel=_relative(path, root),
+        module=module_name_for(path),
+        tree=tree,
+        lines=source.splitlines(),
+    )
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Sequence[str]] = None,
+    root: Optional[Union[str, Path]] = None,
+) -> LintResult:
+    """Lint ``paths`` with the named rules (default: all registered).
+
+    Raises :class:`~repro.errors.LintError` for usage/internal problems
+    (missing paths, unknown rules, unparsable source) — the condition
+    the CLI maps to exit code 2, distinct from "findings exist" (1).
+    """
+    root_path = Path(root) if root is not None else Path(os.getcwd())
+    rule_objs: List[Rule] = build_rules(rules)
+    files = discover_files(paths)
+    project = Project()
+    for path in files:
+        project.modules.append(load_module(path, root_path))
+
+    raw: List[Finding] = []
+    for rule in rule_objs:
+        for ctx in project.modules:
+            try:
+                raw.extend(rule.check_module(ctx))
+            except LintError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - rule bug => internal error
+                raise LintError(
+                    f"rule {rule.name!r} crashed on {ctx.rel}: {exc!r}"
+                ) from exc
+    for rule in rule_objs:
+        try:
+            raw.extend(rule.finalize(project))
+        except LintError:
+            raise
+        except Exception as exc:  # noqa: BLE001
+            raise LintError(f"rule {rule.name!r} crashed in finalize: {exc!r}") from exc
+
+    by_rel = {ctx.rel: ctx for ctx in project.modules}
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in sorted(raw):
+        ctx = by_rel.get(finding.path)
+        if ctx is not None and is_suppressed(
+            finding.rule, finding.line, ctx.suppressions
+        ):
+            suppressed += 1
+            continue
+        kept.append(finding)
+    return LintResult(
+        findings=kept,
+        files=len(files),
+        suppressed=suppressed,
+        rules=[r.name for r in rule_objs],
+    )

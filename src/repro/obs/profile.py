@@ -22,7 +22,37 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterable, Mapping
 
-__all__ = ["RunProfile", "aggregate_profiles"]
+__all__ = ["RunProfile", "Stopwatch", "aggregate_profiles"]
+
+
+class Stopwatch:
+    """Monotonic duration meter — the sanctioned wall-clock access.
+
+    The determinism invariant (docs/static-analysis.md) is that no
+    library module reads a clock directly; durations are measured here,
+    from a counter with an *arbitrary epoch*, so no absolute timestamp
+    can ever leak into simulation state or stored results.
+
+    >>> watch = Stopwatch()
+    >>> ...            # doctest: +SKIP
+    >>> watch.elapsed()  # seconds since construction  # doctest: +SKIP
+    """
+
+    __slots__ = ("_t0",)
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return time.perf_counter() - self._t0
+
+    def restart(self) -> float:
+        """Reset the epoch; returns the duration of the ending lap."""
+        now = time.perf_counter()
+        lap = now - self._t0
+        self._t0 = now
+        return lap
 
 
 class RunProfile:

@@ -1,0 +1,190 @@
+"""The ``repro lint`` CLI surface and the tools/check_layering.py shim.
+
+Pins the exit-code contract (0 clean / 1 findings / 2 internal error),
+the JSON output mode, ``--fix-hints``, ``--rules`` subsetting, and the
+``--update-baseline`` add/expire cycle end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from lint_support import write_tree
+
+from repro.experiments.cli import main
+from repro.lint import Finding
+
+REPO = Path(__file__).resolve().parents[1]
+SHIM = REPO / "tools" / "check_layering.py"
+
+_CLOCK = {
+    "repro/cloud/junk.py": """
+        import time
+
+        def stamp():
+            return time.time()
+    """
+}
+
+
+def _clean_tree(tmp_path):
+    return write_tree(tmp_path / "tree", {"repro/cloud/ok.py": "x = 1\n"})
+
+
+def _dirty_tree(tmp_path):
+    return write_tree(tmp_path / "tree", _CLOCK)
+
+
+# ---------------------------------------------------------------------------
+# exit-code contract
+# ---------------------------------------------------------------------------
+
+
+def test_lint_exit_zero_on_clean_tree(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    root = _clean_tree(tmp_path)
+    assert main(["lint", str(root)]) == 0
+    assert "reprolint: OK" in capsys.readouterr().out
+
+
+def test_lint_exit_one_with_findings(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    root = _dirty_tree(tmp_path)
+    assert main(["lint", str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "[determinism]" in out
+    assert "wall-clock read time.time()" in out
+    assert "fix:" not in out  # hints are opt-in
+
+
+def test_lint_exit_two_on_usage_errors(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", str(tmp_path / "missing")]) == 2
+    assert "path not found" in capsys.readouterr().err
+
+    root = _clean_tree(tmp_path)
+    assert main(["lint", str(root), "--rules", "no-such-rule"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+    bad = tmp_path / "baseline.json"
+    bad.write_text("not json", encoding="utf-8")
+    assert main(["lint", str(root), "--baseline", str(bad)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# options
+# ---------------------------------------------------------------------------
+
+
+def test_lint_fix_hints_mode(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    root = _dirty_tree(tmp_path)
+    assert main(["lint", str(root), "--fix-hints"]) == 1
+    out = capsys.readouterr().out
+    assert "fix: use repro.obs.profile" in out
+
+
+def test_lint_rules_subset(tmp_path, capsys, monkeypatch):
+    # A determinism violation is invisible to a layering-only run.
+    monkeypatch.chdir(tmp_path)
+    root = _dirty_tree(tmp_path)
+    assert main(["lint", str(root), "--rules", "layering"]) == 0
+    assert "reprolint: OK" in capsys.readouterr().out
+
+
+def test_lint_json_format_roundtrips(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    root = _dirty_tree(tmp_path)
+    assert main(["lint", str(root), "--format", "json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["tool"] == "reprolint"
+    assert data["counts"] == {"determinism": 1}
+    rebuilt = [Finding.from_dict(e) for e in data["findings"]]
+    assert [f.rule for f in rebuilt] == ["determinism"]
+    assert rebuilt[0].hint  # hints always present in JSON
+
+
+# ---------------------------------------------------------------------------
+# baseline lifecycle through the CLI
+# ---------------------------------------------------------------------------
+
+
+def test_lint_update_baseline_cycle(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    root = _dirty_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+
+    # 1. grandfather the existing violation
+    assert main(["lint", str(root), "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert "1 finding(s) recorded" in capsys.readouterr().out
+    assert len(json.loads(baseline.read_text())["entries"]) == 1
+
+    # 2. with the baseline in force the run goes green
+    assert main(["lint", str(root), "--baseline", str(baseline)]) == 0
+    assert "suppressed by the baseline" in capsys.readouterr().out
+
+    # 3. fix the violation: the entry goes stale but does not fail CI
+    (root / "repro/cloud/junk.py").write_text("x = 1\n", encoding="utf-8")
+    assert main(["lint", str(root), "--baseline", str(baseline)]) == 0
+    assert "stale baseline entr" in capsys.readouterr().out
+
+    # 4. a second update expires the stale entry
+    assert main(["lint", str(root), "--baseline", str(baseline), "--update-baseline"]) == 0
+    capsys.readouterr()
+    assert json.loads(baseline.read_text())["entries"] == []
+
+
+def test_lint_picks_up_default_baseline_from_cwd(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    root = _dirty_tree(tmp_path)
+    assert main(["lint", str(root), "--update-baseline"]) == 0
+    capsys.readouterr()
+    assert (tmp_path / ".reprolint.json").is_file()
+    # no --baseline flag needed: the committed default is discovered
+    assert main(["lint", str(root)]) == 0
+    assert "suppressed by the baseline" in capsys.readouterr().out
+
+
+def test_committed_repo_baseline_is_empty():
+    data = json.loads((REPO / ".reprolint.json").read_text(encoding="utf-8"))
+    assert data["entries"] == []
+
+
+# ---------------------------------------------------------------------------
+# tools/check_layering.py shim (old entry point keeps its contract)
+# ---------------------------------------------------------------------------
+
+
+def _run_shim(*argv, cwd):
+    return subprocess.run(
+        [sys.executable, str(SHIM), *map(str, argv)],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_shim_clean_on_repo_source():
+    proc = _run_shim("src", cwd=REPO)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "layering: OK" in proc.stdout
+
+
+def test_shim_reports_violations(tmp_path):
+    root = write_tree(
+        tmp_path, {"repro/queueing/bad.py": "from repro.cloud import vm\n"}
+    )
+    proc = _run_shim(root, cwd=REPO)
+    assert proc.returncode == 1
+    assert "repro.queueing.bad imports repro.cloud" in proc.stdout
+    assert "1 layering violation(s)" in proc.stderr
+
+
+def test_shim_missing_root_is_exit_two(tmp_path):
+    proc = _run_shim(tmp_path / "missing", cwd=REPO)
+    assert proc.returncode == 2
+    assert "source root not found" in proc.stderr

@@ -1,0 +1,259 @@
+"""Framework behaviour of repro.lint: suppressions, baseline, reporters.
+
+Also pins the repository-level acceptance criterion: the real source
+tree lints clean with every rule, so the committed baseline can stay
+empty.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from lint_support import lint_tree, write_tree
+
+from repro.errors import LintError
+from repro.lint import (
+    Baseline,
+    Finding,
+    REPORT_VERSION,
+    apply_baseline,
+    json_report,
+    module_name_for,
+    render_json,
+    render_text,
+    rule_names,
+    run_lint,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: a fixture whose single line fires `determinism` exactly once.
+_CLOCK = {
+    "repro/cloud/junk.py": """
+        import time
+
+        def stamp():
+            return time.time()
+    """
+}
+
+
+# ---------------------------------------------------------------------------
+# registry / module resolution
+# ---------------------------------------------------------------------------
+
+
+def test_all_five_rules_registered():
+    names = set(rule_names())
+    assert {
+        "determinism",
+        "layering",
+        "trace-schema",
+        "pool-safety",
+        "float-compare",
+    } <= names
+
+
+def test_module_name_resolution(tmp_path):
+    root = write_tree(
+        tmp_path,
+        {"repro/sim/thing.py": "x = 1\n", "loose.py": "y = 2\n"},
+    )
+    assert module_name_for(root / "repro/sim/thing.py") == "repro.sim.thing"
+    assert module_name_for(root / "repro/sim/__init__.py") == "repro.sim"
+    assert module_name_for(root / "loose.py") == "loose"
+
+
+def test_unknown_rule_and_missing_path_raise_lint_error(tmp_path):
+    with pytest.raises(LintError, match="unknown rule"):
+        run_lint([tmp_path], rules=["no-such-rule"])
+    with pytest.raises(LintError, match="path not found"):
+        run_lint([tmp_path / "missing"])
+
+
+def test_syntax_error_is_internal_error(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    with pytest.raises(LintError, match="syntax error"):
+        run_lint([bad])
+
+
+# ---------------------------------------------------------------------------
+# inline suppressions
+# ---------------------------------------------------------------------------
+
+
+def test_suppression_comment_silences_named_rule(tmp_path):
+    result = lint_tree(
+        tmp_path,
+        {
+            "repro/cloud/junk.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # reprolint: disable=determinism
+            """
+        },
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_suppression_disable_all(tmp_path):
+    result = lint_tree(
+        tmp_path,
+        {
+            "repro/queueing/junk.py": (
+                "def f(x, a, b):\n"
+                "    return a / b == x  # reprolint: disable=all\n"
+            )
+        },
+    )
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_suppression_of_other_rule_does_not_silence(tmp_path):
+    result = lint_tree(
+        tmp_path,
+        {
+            "repro/cloud/junk.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # reprolint: disable=float-compare
+            """
+        },
+    )
+    assert [f.rule for f in result.findings] == ["determinism"]
+    assert result.suppressed == 0
+
+
+# ---------------------------------------------------------------------------
+# fingerprints / baseline
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_ignores_line_but_not_message():
+    a = Finding("p.py", 10, 0, "determinism", "msg")
+    b = Finding("p.py", 99, 4, "determinism", "msg")
+    c = Finding("p.py", 10, 0, "determinism", "other msg")
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != c.fingerprint()
+
+
+def test_baseline_roundtrip_match_and_expiry(tmp_path):
+    dirty = lint_tree(tmp_path / "dirty", _CLOCK)
+    assert len(dirty.findings) == 1
+
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(dirty.findings).save(path)
+    baseline = Baseline.load(path)
+    assert len(baseline) == 1
+
+    # match: the grandfathered finding no longer counts as fresh ...
+    fresh, baselined, stale = apply_baseline(dirty.findings, baseline)
+    assert fresh == []
+    assert baselined == dirty.findings
+    assert stale == []
+
+    # expire: once the violation is fixed the entry goes stale.
+    clean = lint_tree(tmp_path / "clean", {"repro/cloud/junk.py": "x = 1\n"})
+    fresh, baselined, stale = apply_baseline(clean.findings, baseline)
+    assert fresh == [] and baselined == []
+    assert [e["fingerprint"] for e in stale] == [
+        dirty.findings[0].fingerprint()
+    ]
+
+
+def test_baseline_matches_with_multiplicity(tmp_path):
+    # Two identical violations share a fingerprint; one baseline entry
+    # absorbs only one of them.
+    result = lint_tree(
+        tmp_path,
+        {
+            "repro/cloud/junk.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+
+                def stamp2():
+                    return time.time()
+            """
+        },
+    )
+    assert len(result.findings) == 2
+    baseline = Baseline.from_findings(result.findings[:1])
+    fresh, baselined, stale = apply_baseline(result.findings, baseline)
+    assert len(fresh) == 1 and len(baselined) == 1 and stale == []
+
+
+def test_baseline_load_rejects_garbage(tmp_path):
+    bad = tmp_path / "b.json"
+    bad.write_text("not json", encoding="utf-8")
+    with pytest.raises(LintError, match="not valid JSON"):
+        Baseline.load(bad)
+    bad.write_text(json.dumps({"version": 99, "entries": []}), encoding="utf-8")
+    with pytest.raises(LintError, match="unsupported version"):
+        Baseline.load(bad)
+    bad.write_text(json.dumps({"entries": [{"rule": "x"}]}), encoding="utf-8")
+    with pytest.raises(LintError, match="fingerprint"):
+        Baseline.load(bad)
+
+
+# ---------------------------------------------------------------------------
+# reporters
+# ---------------------------------------------------------------------------
+
+
+def test_json_report_roundtrips_findings(tmp_path):
+    result = lint_tree(tmp_path, _CLOCK)
+    blob = render_json(result.findings, result.files, result.rules)
+    data = json.loads(blob)
+    assert data["version"] == REPORT_VERSION
+    assert data["tool"] == "reprolint"
+    assert data["rules"] == result.rules
+    assert data["counts"] == {"determinism": 1}
+    rebuilt = [Finding.from_dict(e) for e in data["findings"]]
+    assert rebuilt == result.findings
+    assert [e["fingerprint"] for e in data["findings"]] == [
+        f.fingerprint() for f in result.findings
+    ]
+
+
+def test_json_report_carries_baseline_sections():
+    f = Finding("p.py", 1, 0, "determinism", "msg", hint="h")
+    stale = [{"rule": "layering", "path": "q.py", "message": "m", "fingerprint": "f"}]
+    data = json_report([], 3, ["determinism"], suppressed=2, baselined=[f], stale_baseline=stale)
+    assert data["suppressed"] == 2
+    assert Finding.from_dict(data["baselined"][0]) == f
+    assert data["stale_baseline"] == stale
+
+
+def test_text_report_clean_and_dirty(tmp_path):
+    clean = lint_tree(tmp_path / "c", {"repro/cloud/ok.py": "x = 1\n"})
+    text = render_text(clean.findings, clean.files)
+    assert f"reprolint: OK ({clean.files} file(s) clean)" in text
+
+    dirty = lint_tree(tmp_path / "d", _CLOCK)
+    plain = render_text(dirty.findings, dirty.files)
+    assert "[determinism]" in plain and "fix:" not in plain
+    hinted = render_text(dirty.findings, dirty.files, fix_hints=True)
+    assert "fix: use repro.obs.profile" in hinted
+    assert dirty.findings[0].location() in hinted
+
+
+# ---------------------------------------------------------------------------
+# the real tree is clean (acceptance criterion — empty baseline holds)
+# ---------------------------------------------------------------------------
+
+
+def test_repository_source_lints_clean_with_all_rules():
+    result = run_lint([REPO / "src"], root=REPO)
+    assert result.findings == [], "\n".join(
+        f"{f.location()}: [{f.rule}] {f.message}" for f in result.findings
+    )

@@ -1,145 +1,52 @@
 #!/usr/bin/env python3
-"""Layering lint: enforce the import-direction rules of the package.
+"""Layering lint — thin shim over the ``layering`` rule of ``repro.lint``.
 
-The architecture (docs/architecture.md) layers the package so the math
-stays engine-free and exactly one package knows both execution engines:
+Historically this script held the import-direction checker itself; the
+implementation now lives in :mod:`repro.lint.rules.layering` alongside
+the other project rules, and ``repro lint`` is the preferred entry
+point::
 
-1. ``repro.queueing`` and ``repro.prediction`` are pure analytics —
-   they must never import the execution substrates ``repro.cloud`` or
-   ``repro.sim``.  (Sole exception: ``repro.sim.calendar``, an
-   engine-free vocabulary of day/time arithmetic.)
-2. ``repro.backends`` is the *only* package allowed to import both
-   engines; specifically, no module outside it may import the fluid
-   engine ``repro.sim.fluid``.
-3. ``repro.core`` (the control plane) never imports ``repro.backends``
-   or ``repro.experiments`` — it cannot know how it is executed.
-4. ``repro.campaigns`` (the orchestration layer) sits on top: it may
-   import experiments/backends, but nothing in the library imports it
-   back — the CLI reaches it through a function-local import only.
+    repro lint src tests            # all rules
+    repro lint src --rules layering # just this one
 
-Only *module-body* imports count (the ones executed on import): an
-import nested inside a function, method, or ``if TYPE_CHECKING:``
-block is a deliberate cycle-breaker or typing aid, not a layering
-dependency.
+This shim keeps the old invocation and exit contract working for
+scripts and muscle memory:
 
-Usage: ``python tools/check_layering.py [src-root]`` — exits non-zero
-listing every violation.  Run by CI next to the test suite.
+Usage: ``python tools/check_layering.py [src-root]`` — exits 0 when
+clean, non-zero listing every violation, 2 when the source root is
+missing.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
-
-#: importing module prefix → forbidden imported-module prefixes
-FORBIDDEN = {
-    "repro.queueing": ("repro.cloud", "repro.sim"),
-    "repro.prediction": ("repro.cloud", "repro.sim"),
-    # The control plane cannot know how it is being executed.
-    "repro.core": ("repro.backends", "repro.experiments"),
-}
-
-#: Engine-free shared-vocabulary modules exempt from FORBIDDEN:
-#: ``repro.sim.calendar`` is pure day-of-week/time-of-day arithmetic
-#: (constants and pure functions, no engine state) that the pattern
-#: predictors legitimately share with the simulator.
-ALLOWED = ("repro.sim.calendar",)
-
-#: module prefixes only importable from inside these owner packages
-RESTRICTED = {
-    "repro.sim.fluid": ("repro.backends", "repro.sim"),
-    # The campaign engine is the top of the stack: it orchestrates the
-    # layers below, so no library module may import it at module body
-    # (the CLI's lazy function-local import is exempt by design).
-    "repro.campaigns": ("repro.campaigns",),
-}
 
 
-def module_name(path: Path, src_root: Path) -> str:
-    """Dotted module name of ``path`` relative to the source root."""
-    rel = path.relative_to(src_root).with_suffix("")
-    parts = list(rel.parts)
-    if parts[-1] == "__init__":
-        parts.pop()
-    return ".".join(parts)
-
-
-def _absolute(module: str, node: ast.ImportFrom) -> str:
-    """Resolve an ``ast.ImportFrom`` to an absolute dotted module."""
-    if node.level == 0:
-        return node.module or ""
-    # Relative import: climb ``level`` packages from the importer.
-    package = module.rsplit(".", node.level)[0] if "." in module else ""
-    if node.module:
-        return f"{package}.{node.module}" if package else node.module
-    return package
-
-
-def body_imports(tree: ast.Module, module: str) -> Iterator[Tuple[int, str]]:
-    """(lineno, absolute target) for each direct module-body import.
-
-    Walks only the top level of the module — imports inside functions,
-    classes' methods, or conditional ``TYPE_CHECKING`` guards do not
-    execute at import time and are exempt by design.
-    """
-    for node in tree.body:
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                yield node.lineno, alias.name
-        elif isinstance(node, ast.ImportFrom):
-            base = _absolute(module, node)
-            yield node.lineno, base
-            # ``from repro.sim import fluid`` names the submodule via
-            # the alias list; surface those too.
-            for alias in node.names:
-                if base:
-                    yield node.lineno, f"{base}.{alias.name}"
-
-
-def _hits(target: str, prefixes: Tuple[str, ...]) -> bool:
-    return any(target == p or target.startswith(p + ".") for p in prefixes)
-
-
-def check(src_root: Path) -> List[str]:
-    """All layering violations under ``src_root`` as printable lines."""
-    violations: List[str] = []
-    for path in sorted(src_root.rglob("*.py")):
-        module = module_name(path, src_root)
-        if not module.startswith("repro"):
-            continue
-        tree = ast.parse(path.read_text(), filename=str(path))
-        for lineno, target in body_imports(tree, module):
-            for layer, banned in FORBIDDEN.items():
-                if (
-                    (module == layer or module.startswith(layer + "."))
-                    and _hits(target, banned)
-                    and not _hits(target, ALLOWED)
-                ):
-                    violations.append(
-                        f"{path}:{lineno}: {module} imports {target} "
-                        f"({layer} must stay engine-free)"
-                    )
-            for restricted, owners in RESTRICTED.items():
-                if _hits(target, (restricted,)) and not _hits(module, owners):
-                    violations.append(
-                        f"{path}:{lineno}: {module} imports {target} "
-                        f"(only {' / '.join(owners)} may import {restricted})"
-                    )
-    return violations
-
-
-def main(argv: List[str]) -> int:
+def main(argv) -> int:
     src_root = Path(argv[1]) if len(argv) > 1 else Path("src")
     if not src_root.is_dir():
         print(f"source root not found: {src_root}", file=sys.stderr)
         return 2
-    violations = check(src_root)
-    for line in violations:
-        print(line)
-    if violations:
-        print(f"{len(violations)} layering violation(s)", file=sys.stderr)
+
+    # Make the in-repo package importable when running from a checkout
+    # without an installed distribution.
+    repo_src = Path(__file__).resolve().parent.parent / "src"
+    if repo_src.is_dir() and str(repo_src) not in sys.path:
+        sys.path.insert(0, str(repo_src))
+
+    from repro.errors import LintError
+    from repro.lint import run_lint
+
+    try:
+        result = run_lint([src_root], rules=["layering"])
+    except LintError as exc:
+        print(f"check_layering: {exc}", file=sys.stderr)
+        return 2
+    for finding in result.findings:
+        print(f"{finding.location()}: {finding.message}")
+    if result.findings:
+        print(f"{len(result.findings)} layering violation(s)", file=sys.stderr)
         return 1
     print("layering: OK")
     return 0
