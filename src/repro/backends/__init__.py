@@ -5,6 +5,9 @@ policy) and "how to run it":
 
 * :class:`~repro.backends.des.DESBackend` — event-per-request
   discrete-event simulation (exact, slow at paper scale);
+* :class:`~repro.backends.des_vec.DESVecBackend` — batched
+  structure-of-arrays DES (exact queueing dynamics, arrivals and
+  completions move through numpy kernels between control epochs);
 * :class:`~repro.backends.fluid.FluidBackend` — interval-analytical
   flow evaluation (approximate data plane, exact control plane, fast
   at any scale).
@@ -18,6 +21,7 @@ allowed to import both engines (``repro.sim`` event kernel *and*
 
 from .base import BACKENDS, ExecutionBackend, RunMetrics, resolve_backend
 from .des import DESBackend, build_context
+from .des_vec import DESVecBackend, build_vec_context
 from .fluid import FluidBackend
 
 __all__ = [
@@ -26,6 +30,8 @@ __all__ = [
     "RunMetrics",
     "resolve_backend",
     "DESBackend",
+    "DESVecBackend",
     "FluidBackend",
     "build_context",
+    "build_vec_context",
 ]

@@ -165,8 +165,14 @@ def _make_fluid() -> "ExecutionBackend":
     return FluidBackend()
 
 
+def _make_des_vec() -> "ExecutionBackend":
+    from .des_vec import DESVecBackend
+
+    return DESVecBackend()
+
+
 #: Backend registry: spec string → zero-argument factory.
-BACKENDS = {"des": _make_des, "fluid": _make_fluid}
+BACKENDS = {"des": _make_des, "des-vec": _make_des_vec, "fluid": _make_fluid}
 
 
 def resolve_backend(
@@ -174,8 +180,9 @@ def resolve_backend(
 ) -> "ExecutionBackend":
     """Turn a backend spec into a ready :class:`ExecutionBackend`.
 
-    ``None`` and ``"des"`` give the default DES backend, ``"fluid"``
-    the fluid backend, and an object with ``run`` + ``name`` passes
+    ``None`` and ``"des"`` give the default DES backend, ``"des-vec"``
+    the vectorized (batched structure-of-arrays) DES, ``"fluid"`` the
+    fluid backend, and an object with ``run`` + ``name`` passes
     through unchanged (so callers can hand in a pre-configured
     ``FluidBackend(dt=10.0)``).
     """

@@ -258,7 +258,9 @@ def _prescreen(
     """Drop DES cells whose fluid twin already violates the threshold."""
     survivors: List[Cell] = []
     for cell in pending:
-        if cell.backend != "des":
+        # Both DES flavours (scalar "des" and vectorized "des-vec") get
+        # the analytical prescreen; fluid cells ARE the twins.
+        if not cell.backend.startswith("des"):
             survivors.append(cell)
             continue
         twin = dataclasses.replace(cell, backend="fluid")

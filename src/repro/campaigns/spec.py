@@ -126,7 +126,7 @@ class Cell:
     policy:
         Policy string (``"adaptive"``, ``"static-75"``).
     backend:
-        Execution backend spec (``"des"`` / ``"fluid"``).
+        Execution backend spec (``"des"`` / ``"des-vec"`` / ``"fluid"``).
     seed:
         Replication seed.
     """

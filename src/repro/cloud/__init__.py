@@ -44,6 +44,7 @@ from .placement import (
     RandomPlacement,
 )
 from .request import RequestOutcome, RequestRecord
+from .vecfleet import VectorFleet
 from .vm import DEFAULT_VM_SPEC, VirtualMachine, VMSpec, VMState
 
 __all__ = [
@@ -57,6 +58,7 @@ __all__ = [
     "AppInstance",
     "InstanceState",
     "ApplicationFleet",
+    "VectorFleet",
     "AdmissionControl",
     "FailureInjector",
     "PriorityAdmissionControl",

@@ -55,14 +55,17 @@ class _ArrivalCursor:
         """Arrivals of the current batch not yet dispatched."""
         return len(self._times) - self._idx
 
-    def load(self, times: List[float]) -> None:
+    def load(self, times) -> None:
         """Start dispatching a new batch of sorted timestamps.
 
+        Accepts a numpy array (the broker's sampled window) or a list.
         A window's batch always drains before the next window is
         generated (arrivals live in ``[t0, t0 + window)`` and the next
         generation fires at ``t0 + window``); any leftovers — a
         misbehaving workload model — are merged rather than dropped.
         """
+        if isinstance(times, np.ndarray):
+            times = times.tolist()
         if self._idx < len(self._times):
             times = sorted(self._times[self._idx :] + times)
             if self._pending is not None:
@@ -85,7 +88,7 @@ class _ArrivalCursor:
 
 
 class WorkloadSource:
-    """Feeds a workload's arrivals into admission control.
+    """Feeds a workload's arrivals into an arrival sink.
 
     Parameters
     ----------
@@ -96,10 +99,18 @@ class WorkloadSource:
     rng:
         Dedicated random stream for arrival sampling.
     admission:
-        The deployment's front door.
+        The deployment's front door.  The default sink is a rolling
+        cursor that submits each arrival to it at its timestamp.
     horizon:
         Generation stops at this simulation time (arrivals beyond it
         are discarded).
+    sink:
+        Alternative consumer of each window's arrival batch — any
+        object with ``load(times: np.ndarray)``.  The vectorized
+        backend passes its :class:`~repro.cloud.vecfleet.VectorFleet`
+        here, which buffers whole windows for the batched data plane
+        instead of dispatching one engine event per arrival.  Exactly
+        one of ``admission`` / ``sink`` must be provided.
 
     Notes
     -----
@@ -113,17 +124,27 @@ class WorkloadSource:
         engine: Engine,
         workload: Workload,
         rng: np.random.Generator,
-        admission: AdmissionControl,
-        horizon: float,
+        admission: Optional[AdmissionControl] = None,
+        horizon: float = 0.0,
         tracer: Optional[object] = None,
+        sink: Optional[object] = None,
     ) -> None:
         if horizon <= 0.0 or not math.isfinite(horizon):
             raise ConfigurationError(f"horizon must be finite and > 0, got {horizon!r}")
+        if (admission is None) == (sink is None):
+            raise ConfigurationError(
+                "provide exactly one of admission= (scalar cursor dispatch) "
+                "or sink= (batched window hand-off)"
+            )
         self._engine = engine
         self._workload = workload
         self._rng = rng
         self._admission = admission
-        self._cursor = _ArrivalCursor(engine, admission)
+        if sink is None:
+            sink = self._cursor = _ArrivalCursor(engine, admission)
+        else:
+            self._cursor = None
+        self._sink = sink
         self.horizon = float(horizon)
         self.generated = 0
         #: Optional :class:`repro.obs.bus.TraceBus`; one event per
@@ -147,7 +168,7 @@ class WorkloadSource:
             )
         if arrivals.size:
             self.generated += int(arrivals.size)
-            self._cursor.load(arrivals.tolist())
+            self._sink.load(arrivals)
         t_next = t0 + self._workload.window
         if t_next < horizon:
             self._engine.schedule_at(t_next, lambda: self._generate_window(t_next), PRIORITY_HIGH)

@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional, Tuple
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..metrics.collector import MetricsCollector
 from ..sim.engine import Engine
@@ -119,6 +121,73 @@ class Monitor:
     def record_arrival(self) -> None:
         """Observe one arrival (only counted when sampling is enabled)."""
         self._arrivals_in_window += 1
+
+    # ------------------------------------------------------------------
+    # bulk sinks (vectorized data plane)
+    # ------------------------------------------------------------------
+    def record_responses(
+        self,
+        response_times: np.ndarray,
+        service_times: np.ndarray,
+        completion_times: Optional[np.ndarray] = None,
+    ) -> None:
+        """Observe a batch of completions in departure order.
+
+        Semantically ``record_response`` in a loop; the ``T_m`` EWMA is
+        folded in closed form:
+        ``tm' = (1-α)^n·tm + α·Σᵢ (1-α)^(n-1-i)·sᵢ``.  When every sample
+        equals the current estimate (the jitterless scenarios), each
+        sequential step would add exactly ``α·0``, so the update is
+        skipped outright — keeping ``T_m`` bit-identical to the scalar
+        path where the cross-backend tests require it.
+
+        ``completion_times`` (departure timestamps) is only consulted
+        when tracing, to stamp the per-request events.
+        """
+        services = np.asarray(service_times, dtype=np.float64)
+        n = services.size
+        if n == 0:
+            return
+        self._metrics.record_responses(response_times, services)
+        start = 0
+        if not self._seen_completion:
+            self._tm = float(services[0])
+            self._seen_completion = True
+            start = 1
+        tail = services[start:]
+        if tail.size and not (
+            float(tail.min()) == self._tm and float(tail.max()) == self._tm
+        ):
+            alpha = self._alpha
+            weights = (1.0 - alpha) ** np.arange(
+                tail.size - 1, -1, -1, dtype=np.float64
+            )
+            self._tm = float(
+                (1.0 - alpha) ** tail.size * self._tm
+                + alpha * float(np.dot(weights, tail))
+            )
+        if self._tracer is not None:
+            responses = np.asarray(response_times, dtype=np.float64)
+            if completion_times is None:
+                completion_times = np.full(n, self._engine.now)
+            for t, resp, svc in zip(
+                completion_times.tolist(), responses.tolist(), services.tolist()
+            ):
+                self._tracer.emit(
+                    "request.completed", t, response_time=resp, service_time=svc
+                )
+
+    def record_acceptances(self, count: int) -> None:
+        """Observe ``count`` admitted requests at once."""
+        self._metrics.record_acceptances(count)
+
+    def record_rejections(self, count: int) -> None:
+        """Observe ``count`` rejected requests at once."""
+        self._metrics.record_rejections(count)
+
+    def record_arrivals(self, count: int) -> None:
+        """Observe ``count`` arrivals at once (rate-sampling counter)."""
+        self._arrivals_in_window += int(count)
 
     # ------------------------------------------------------------------
     # queries

@@ -1,0 +1,484 @@
+"""Vectorized application fleet — the batched DES data plane.
+
+:class:`VectorFleet` is the array twin of
+:class:`~repro.cloud.fleet.ApplicationFleet`: same instance lifecycle
+(revive-first growth, cancel-booting / idle-first / graceful-drain
+shrink, round-robin dispatch), but the per-request hot loop runs on the
+structure-of-arrays kernel in :mod:`repro.sim.batch` instead of one
+engine event per arrival and completion.
+
+Epoch model
+-----------
+The ``des-vec`` backend drives the fleet with an *epoch loop*: before
+every engine event (control alerts, Algorithm-1 decisions, VM boots,
+monitor samples) it calls :meth:`advance` up to the event's timestamp.
+``advance`` consumes the pending arrival buffer in *blocks*:
+
+1. drain completions up to the next arrival (:meth:`SoAQueues.drain`);
+2. if every active station is full, bulk-reject arrivals up to the
+   first completion (one ``searchsorted``);
+3. otherwise assign a block of arrivals cyclically over the non-full
+   stations in round-robin-pointer order, bounded by
+   :func:`~repro.sim.batch.safe_block_length` (no station overflows)
+   and by the first completion of a *full* station (the full set cannot
+   shrink mid-block) — exactly the conditions under which blocked
+   cyclic assignment reproduces the scalar balancer's pointer walk,
+   arrival by arrival.
+
+Statistics are flushed once per ``advance`` span: completions are
+merged across drain waves, sorted by departure time, and recorded
+through the monitor/metrics *bulk* interfaces, whose arithmetic is
+documented (and tested) to be exact for the jitterless cross-check
+scenarios.  Because span boundaries are engine events — never block
+boundaries — every recorded quantity is invariant to the block size
+(the hypothesis property test in ``tests/test_batch_engine.py``).
+
+Fidelity to the scalar fleet, and the two documented deviations:
+
+* the service-time stream is drawn per *window* (``draw_many``) instead
+  of per service *start*, so under service jitter the two backends see
+  the same distribution but different per-request draws (jitterless
+  runs are bit-identical);
+* simultaneous events of measure zero (an arrival or completion at
+  exactly a control epoch) resolve in a fixed documented order rather
+  than by engine sequence number.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, PlacementError
+from ..metrics.collector import MetricsCollector
+from ..sim.batch import SoAQueues
+from ..sim.engine import Engine
+from ..workloads.base import ServiceTimeSampler
+from .datacenter import Datacenter
+from .loadbalancer import LoadBalancer, RoundRobinBalancer
+from .monitor import Monitor
+from .vm import DEFAULT_VM_SPEC, VirtualMachine, VMSpec
+
+__all__ = ["VectorFleet"]
+
+
+class VectorFleet:
+    """Array-backed instance fleet satisfying the FleetActuator protocol.
+
+    Parameters mirror :class:`~repro.cloud.fleet.ApplicationFleet`;
+    additionally ``max_block`` caps the arrival-block size (purely a
+    memory/latency knob — results are block-size invariant) and
+    ``count_arrivals`` enables the monitor's arrival-rate counter.
+
+    Only round-robin dispatch is implemented: a ``balancer`` argument
+    must be ``None`` or a :class:`RoundRobinBalancer` (other strategies
+    need the scalar backend).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        datacenter: Datacenter,
+        sampler: ServiceTimeSampler,
+        monitor: Monitor,
+        metrics: MetricsCollector,
+        capacity: int,
+        balancer: Optional[LoadBalancer] = None,
+        vm_spec: VMSpec = DEFAULT_VM_SPEC,
+        boot_delay: float = 0.0,
+        tracer: Optional[object] = None,
+        max_block: int = 65_536,
+        count_arrivals: bool = False,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"queue capacity k must be >= 1, got {capacity}")
+        if boot_delay < 0.0:
+            raise ConfigurationError(f"boot delay must be >= 0, got {boot_delay}")
+        if balancer is not None and not isinstance(balancer, RoundRobinBalancer):
+            raise ConfigurationError(
+                "the vectorized fleet implements round-robin dispatch only; "
+                f"use backend='des' for {type(balancer).__name__}"
+            )
+        if max_block < 1:
+            raise ConfigurationError(f"max_block must be >= 1, got {max_block}")
+        self._engine = engine
+        self._datacenter = datacenter
+        self._sampler = sampler
+        self._monitor = monitor
+        self._metrics = metrics
+        self.capacity = int(capacity)
+        self.vm_spec = vm_spec
+        self.boot_delay = float(boot_delay)
+        self._tracer = tracer
+        self._max_block = int(max_block)
+        self._count_arrivals = bool(count_arrivals)
+        # -- station state ---------------------------------------------
+        self._soa = SoAQueues(self.capacity)
+        self._vms: Dict[int, VirtualMachine] = {}
+        self._active: List[int] = []
+        self._booting: List[int] = []
+        self._draining: List[int] = []
+        self._active_idx = np.empty(0, dtype=np.intp)
+        self._live_idx = np.empty(0, dtype=np.intp)
+        self._rr = 0
+        # -- arrival buffer (the broker's sink) ------------------------
+        self._times = np.empty(0)
+        self._services = np.empty(0)
+        self._pos = 0
+        # -- span accumulators (reset at every flush) ------------------
+        self._chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._span_accepted = 0
+        self._span_rejected = 0
+        self._pending_destroy: List[Tuple[float, int]] = []
+        self._accepting: Optional[bool] = None
+        # -- counters --------------------------------------------------
+        self.arrivals_processed = 0
+        self.completions_processed = 0
+        self.spans = 0
+
+    def _emit_vm(self, event_type: str, idx: int, t: Optional[float] = None, **fields: object) -> None:
+        """Trace one instance lifecycle transition (no-op untraced)."""
+        if self._tracer is not None:
+            when = self._engine.now if t is None else t
+            self._tracer.emit(event_type, when, instance=idx, **fields)
+
+    # ------------------------------------------------------------------
+    # census (FleetActuator surface + scalar-fleet parity)
+    # ------------------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        """Instances currently accepting requests."""
+        return len(self._active)
+
+    @property
+    def serving_count(self) -> int:
+        """Instances provisioned for service (active + still booting)."""
+        return len(self._active) + len(self._booting)
+
+    @property
+    def live_count(self) -> int:
+        """All non-destroyed instances (includes draining)."""
+        return len(self._active) + len(self._booting) + len(self._draining)
+
+    def occupancy(self, idx: int) -> int:
+        """Requests on board one station (in service + queued)."""
+        return int(self._soa.qlen[idx]) + int(self._soa.svc_end[idx] != np.inf)
+
+    @property
+    def in_flight(self) -> int:
+        """Admitted requests not yet completed across the fleet."""
+        live = self._live_idx
+        if live.size == 0:
+            return 0
+        return int(self._soa.occupancy(live).sum())
+
+    # ------------------------------------------------------------------
+    # scaling (identical ordering semantics to ApplicationFleet)
+    # ------------------------------------------------------------------
+    def scale_to(self, target: int) -> int:
+        """Adjust the serving fleet toward ``target`` instances."""
+        if target < 0:
+            raise ConfigurationError(f"target fleet size must be >= 0, got {target}")
+        current = self.serving_count
+        if target > current:
+            self._grow(target - current)
+        elif target < current:
+            self._shrink(current - target)
+        return self.serving_count
+
+    def _grow(self, count: int) -> None:
+        # 1. Revive draining instances, most recently drained first.
+        while count > 0 and self._draining:
+            self._active.append(self._draining.pop())
+            count -= 1
+        # 2. Create fresh VMs.
+        while count > 0:
+            if self._create_instance() is None:
+                break  # quota/capacity reached; serve with what we have
+            count -= 1
+        self._after_membership_change()
+
+    def _create_instance(self) -> Optional[int]:
+        now = self._engine.now
+        try:
+            vm = self._datacenter.create_vm(now, self.vm_spec)
+        except PlacementError:
+            return None
+        idx = self._soa.alloc()
+        self._vms[idx] = vm
+        if self.boot_delay > 0.0:
+            self._booting.append(idx)
+            self._engine.schedule(self.boot_delay, lambda i=idx: self._boot_done(i))
+        else:
+            vm.boot_completed()
+            self._active.append(idx)
+        self._emit_vm("vm.created", idx, booting=self.boot_delay > 0.0)
+        return idx
+
+    def _boot_done(self, idx: int) -> None:
+        if idx not in self._booting:
+            return  # cancelled while booting
+        self._booting.remove(idx)
+        self._vms[idx].boot_completed()
+        self._active.append(idx)
+        self._after_membership_change()
+
+    def _shrink(self, count: int) -> None:
+        now = self._engine.now
+        # 1. Cancel instances that have not even booted yet.
+        while count > 0 and self._booting:
+            idx = self._booting.pop()
+            self._destroy(idx, now, "cancelled")
+            count -= 1
+        if count <= 0:
+            self._after_membership_change()
+            return
+        # 2. Destroy idle actives immediately.
+        occ = {i: self.occupancy(i) for i in self._active}
+        idle = [i for i in self._active if occ[i] == 0]
+        for idx in idle[:count]:
+            self._active.remove(idx)
+            self._destroy(idx, now, "idle")
+        count -= min(count, len(idle))
+        if count <= 0:
+            self._after_membership_change()
+            return
+        # 3. Drain the least-loaded remaining actives.
+        victims = sorted(self._active, key=lambda i: (occ[i], i))[:count]
+        for idx in victims:
+            self._active.remove(idx)
+            self._draining.append(idx)
+            self._emit_vm("vm.draining", idx)
+        self._after_membership_change()
+
+    def _destroy(self, idx: int, t: float, reason: str) -> None:
+        self._soa.clear(idx)
+        self._datacenter.destroy_vm(self._vms.pop(idx), t)
+        self._emit_vm("vm.destroyed", idx, t=t, reason=reason)
+
+    def _after_membership_change(self) -> None:
+        n = len(self._active)
+        self._rr = self._rr % n if n else 0
+        self._refresh_index_cache()
+        self._metrics.record_fleet_size(self._engine.now, self.live_count)
+
+    def _refresh_index_cache(self) -> None:
+        self._active_idx = np.array(self._active, dtype=np.intp)
+        self._live_idx = np.array(self._active + self._draining, dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    # arrival sink (the broker's window hand-off)
+    # ------------------------------------------------------------------
+    def load(self, times: np.ndarray) -> None:
+        """Buffer one window's sorted arrival batch.
+
+        Service times are drawn here, one vectorized block per window.
+        A window's batch normally drains before the next is generated;
+        leftovers (a misbehaving workload model) are merged, keeping
+        the buffer sorted.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        if times.size == 0:
+            return
+        services = self._sampler.draw_many(times.size)
+        if self._pos < self._times.size:
+            times = np.concatenate((self._times[self._pos :], times))
+            services = np.concatenate((self._services[self._pos :], services))
+            order = np.argsort(times, kind="stable")
+            times = times[order]
+            services = services[order]
+        self._times = times
+        self._services = services
+        self._pos = 0
+
+    @property
+    def buffered(self) -> int:
+        """Arrivals loaded but not yet admitted or rejected."""
+        return int(self._times.size - self._pos)
+
+    # ------------------------------------------------------------------
+    # the epoch hot loop
+    # ------------------------------------------------------------------
+    def advance(self, t_end: float) -> None:
+        """Process all arrivals and completions strictly before ``t_end``.
+
+        Called by the backend before each engine event fires; the
+        strictness mirrors the scalar priority order, where a
+        same-instant control event (PRIORITY_HIGH) precedes data-plane
+        events.  Flushes span statistics so the event's control logic
+        observes exactly the pre-epoch state.
+        """
+        t_end = float(t_end)
+        self._consume_arrivals(t_end)
+        self._drain_until(t_end, strict=True)
+        self._flush(t_end)
+
+    def finish(self, horizon: float) -> None:
+        """Close the data plane at the horizon (completions inclusive).
+
+        Consumes the arrivals remaining after the last engine event,
+        then drains completions *including* those at exactly the
+        horizon — the scalar engine fires those events, while the epoch
+        loop's strict drains exclude them.
+        """
+        horizon = float(horizon)
+        self._consume_arrivals(horizon)
+        self._drain_until(horizon, strict=False)
+        self._flush(horizon)
+
+    def _consume_arrivals(self, t_end: float) -> None:
+        """Admit or reject every buffered arrival strictly before ``t_end``."""
+        soa = self._soa
+        times = self._times
+        services = self._services
+        i = self._pos
+        n = times.size
+        k = self.capacity
+        while i < n and times[i] < t_end:
+            t_arr = float(times[i])
+            self._drain_until(t_arr, strict=False)
+            act = self._active_idx
+            na = act.size
+            if na == 0:
+                j = int(np.searchsorted(times, t_end, side="left"))
+                self._reject_block(times, i, j)
+                i = j
+                continue
+            occ = soa.qlen[act] + (soa.svc_end[act] != np.inf)
+            open_mask = occ < k
+            if not open_mask.any():
+                # All full: the paper's rejection condition, in bulk up
+                # to the first slot-freeing completion.
+                t_free = float(soa.svc_end[act].min())
+                j = int(np.searchsorted(times, min(t_free, t_end), side="left"))
+                self._reject_block(times, i, j)
+                i = j
+                continue
+            # Cyclic station order from the round-robin pointer.
+            order = np.concatenate((np.arange(self._rr, na), np.arange(self._rr)))
+            order_open = order[open_mask[order]]
+            stations = act[order_open]
+            n_open = stations.size
+            occ_open = occ[order_open]
+            l_safe = int(np.min(np.arange(n_open) + (k - occ_open) * n_open))
+            if open_mask.all():
+                t_full = t_end
+            else:
+                t_full = float(soa.svc_end[act[~open_mask]].min())
+            j = int(np.searchsorted(times, min(t_full, t_end), side="left"))
+            j = min(j, i + l_safe, i + self._max_block)
+            block = j - i
+            for r in range(0, block, n_open):
+                c = min(n_open, block - r)
+                soa.assign(stations[:c], times[i + r : i + r + c], services[i + r : i + r + c])
+            self._accept_block(times, i, j)
+            self._rr = int((order_open[(block - 1) % n_open] + 1) % na)
+            i = j
+        self._pos = i
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _drain_until(self, t: float, strict: bool) -> None:
+        live = self._live_idx
+        if live.size == 0:
+            return
+        waves = self._soa.drain(live, t, strict=strict)
+        if not waves:
+            return
+        draining = self._draining
+        soa = self._soa
+        for done, dep, arr, svc in waves:
+            self._chunks.append((dep, arr, svc))
+            if draining:
+                # Graceful-drain completion: a draining station that
+                # emptied is destroyed at its last departure time.
+                dr_mask = np.isin(done, np.array(draining, dtype=np.intp))
+                if dr_mask.any():
+                    cand = done[dr_mask]
+                    emptied = soa.svc_end[cand] == np.inf
+                    for idx, t_done in zip(
+                        cand[emptied].tolist(), dep[dr_mask][emptied].tolist()
+                    ):
+                        self._pending_destroy.append((t_done, idx))
+
+    def _accept_block(self, times: np.ndarray, i: int, j: int) -> None:
+        count = j - i
+        self._span_accepted += count
+        tracer = self._tracer
+        if tracer is not None:
+            if self._accepting is not True:
+                self._accepting = True
+                tracer.emit("admission.state", float(times[i]), accepting=True)
+            for t in times[i:j].tolist():
+                tracer.emit("request.admitted", t)
+
+    def _reject_block(self, times: np.ndarray, i: int, j: int) -> None:
+        count = j - i
+        if count <= 0:
+            return
+        self._span_rejected += count
+        tracer = self._tracer
+        if tracer is not None:
+            if self._accepting is not False:
+                self._accepting = False
+                tracer.emit("admission.state", float(times[i]), accepting=False)
+            for t in times[i:j].tolist():
+                tracer.emit("request.rejected", t)
+
+    def _flush(self, t_end: float) -> None:
+        """Post the span's accumulated effects in deterministic order."""
+        completions = 0
+        chunks = self._chunks
+        if chunks:
+            if len(chunks) == 1:
+                dep, arr, svc = chunks[0]
+            else:
+                dep = np.concatenate([c[0] for c in chunks])
+                arr = np.concatenate([c[1] for c in chunks])
+                svc = np.concatenate([c[2] for c in chunks])
+            order = np.lexsort((arr, dep))
+            dep = dep[order]
+            arr = arr[order]
+            svc = svc[order]
+            completions = int(dep.size)
+            self.completions_processed += completions
+            self._monitor.record_responses(dep - arr, svc, dep)
+            self._chunks = []
+        accepted = self._span_accepted
+        rejected = self._span_rejected
+        if accepted or rejected:
+            self.arrivals_processed += accepted + rejected
+            if self._count_arrivals:
+                self._monitor.record_arrivals(accepted + rejected)
+            if accepted:
+                self._monitor.record_acceptances(accepted)
+            if rejected:
+                self._monitor.record_rejections(rejected)
+            self._span_accepted = 0
+            self._span_rejected = 0
+        if self._pending_destroy:
+            for t_done, idx in sorted(self._pending_destroy):
+                self._draining.remove(idx)
+                self._destroy(idx, t_done, "drained")
+                self._metrics.record_fleet_size(t_done, self.live_count)
+            self._pending_destroy = []
+            self._refresh_index_cache()
+        if (accepted or rejected or completions) and self._tracer is not None:
+            self._tracer.emit(
+                "batch.span",
+                t_end,
+                arrivals=accepted + rejected,
+                completions=completions,
+                rejected=rejected,
+            )
+        if accepted or rejected or completions:
+            self.spans += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<VectorFleet active={len(self._active)} "
+            f"booting={len(self._booting)} draining={len(self._draining)} "
+            f"buffered={self.buffered}>"
+        )

@@ -79,6 +79,8 @@ def available_experiments() -> Dict[str, str]:
         "fig6": "Figure 6: scientific policy comparison (DES, full scale)",
         "fig5-fluid": "Figure 5 at full paper scale (fluid engine)",
         "fig6-fluid": "Figure 6 cross-check (fluid engine)",
+        "fig5-fullscale": "Figure 5 at full paper scale (vectorized DES)",
+        "fig6-fullscale": "Figure 6 replications (vectorized DES)",
         "workload-analysis": "Contribution 2: workload characterization + provisioning feedback",
     }
 
@@ -127,6 +129,16 @@ def _build(experiment: str, args: argparse.Namespace) -> "figures.FigureData":
         return figures.fig5_fluid_fullscale()
     if experiment == "fig6-fluid":
         return figures.fig6_fluid_fullscale()
+    if experiment == "fig5-fullscale":
+        # --quick shrinks the full-scale week the same way the campaign
+        # quick grid does: one day at rate scale 1/100.
+        if quick:
+            return figures.fig5_vec_fullscale(
+                scale=100.0, horizon=SECONDS_PER_DAY, seeds=seeds, workers=args.workers
+            )
+        return figures.fig5_vec_fullscale(seeds=seeds, workers=args.workers)
+    if experiment == "fig6-fullscale":
+        return figures.fig6_vec_fullscale(seeds=seeds, workers=args.workers)
     if experiment == "workload-analysis":
         return figures.workload_analysis_data(seed=seeds[0])
     raise SystemExit(f"unknown experiment {experiment!r}; try 'list'")

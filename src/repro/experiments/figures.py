@@ -417,3 +417,50 @@ def fig6_fluid_fullscale() -> FigureData:
         title="Figure 6 (fluid engine cross-check): scientific scenario",
         update_interval=1800.0,
     )
+
+
+# ----------------------------------------------------------------------
+# Full-paper-scale vectorized-DES runs
+# ----------------------------------------------------------------------
+def fig5_vec_fullscale(
+    scale: float = 1.0,
+    horizon: float = SECONDS_PER_WEEK,
+    seeds: Sequence[int] = (0,),
+    workers: int = 1,
+) -> FigureData:
+    """Figure 5 at the paper's full scale on the batched DES.
+
+    The stochastic counterpart of :func:`fig5_fluid_fullscale`: the
+    ``des-vec`` backend simulates every individual request of the
+    ~500 M-request week through the structure-of-arrays data plane, so
+    the full grid is exact DES rather than a fluid approximation.
+    """
+    return policy_comparison(
+        web_scenario(scale=scale, horizon=horizon),
+        _web_policies(),
+        seeds=seeds,
+        experiment_id="fig5-fullscale",
+        title="Figure 5 (full scale, vectorized DES): web scenario",
+        workers=workers,
+        backend="des-vec",
+    )
+
+
+def fig6_vec_fullscale(
+    seeds: Sequence[int] = (0, 1, 2), workers: int = 1
+) -> FigureData:
+    """Figure 6 replications on the batched DES."""
+    factories: List[Callable[[], ProvisioningPolicy]] = [
+        PolicySpec(AdaptivePolicy, update_interval=1800.0)
+    ]
+    for n in SCI_STATIC_SIZES:
+        factories.append(PolicySpec(StaticPolicy, n))
+    return policy_comparison(
+        scientific_scenario(),
+        factories,
+        seeds=seeds,
+        experiment_id="fig6-fullscale",
+        title="Figure 6 (vectorized DES): scientific scenario",
+        workers=workers,
+        backend="des-vec",
+    )

@@ -21,6 +21,8 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 __all__ = ["MetricsCollector"]
 
 
@@ -87,6 +89,49 @@ class MetricsCollector:
     def record_rejection(self) -> None:
         """Record one request rejected by admission control."""
         self.rejected += 1
+
+    # ------------------------------------------------------------------
+    # bulk recording (vectorized data plane)
+    # ------------------------------------------------------------------
+    def record_acceptances(self, count: int) -> None:
+        """Record ``count`` admitted requests at once."""
+        self.accepted += int(count)
+
+    def record_rejections(self, count: int) -> None:
+        """Record ``count`` rejected requests at once."""
+        self.rejected += int(count)
+
+    def record_responses(
+        self, response_times: np.ndarray, service_times: np.ndarray
+    ) -> None:
+        """Record a batch of completions (Chan's parallel Welford merge).
+
+        Violation counting and busy-time accumulation are exact; the
+        running mean/M2 merge is the standard pairwise-combination
+        update, algebraically identical to feeding the batch through
+        :meth:`record_response` one by one (floating-point rounding may
+        differ in the last ulp, which is why cross-backend tests
+        compare the derived statistics with tolerances while counters
+        compare exactly).
+        """
+        responses = np.asarray(response_times, dtype=np.float64)
+        n = responses.size
+        if n == 0:
+            return
+        self.violations += int(np.count_nonzero(responses > self.qos_response_time))
+        self.busy_seconds += float(np.sum(service_times))
+        batch_mean = float(responses.mean())
+        batch_m2 = float(np.sum((responses - batch_mean) ** 2))
+        prior = self.completed
+        total = prior + n
+        if prior == 0:
+            self._resp_mean = batch_mean
+            self._resp_m2 = batch_m2
+        else:
+            delta = batch_mean - self._resp_mean
+            self._resp_mean += delta * n / total
+            self._resp_m2 += batch_m2 + delta * delta * prior * n / total
+        self.completed = total
 
     def record_loss(self, count: int) -> None:
         """Record an instance crash that killed ``count`` admitted requests."""

@@ -90,6 +90,10 @@ EVENT_TYPES: Dict[str, Dict[str, tuple]] = {
     },
     # engine heap hygiene
     "engine.compacted": {"removed": (int,), "remaining": (int,)},
+    # vectorized backend: one summary per non-empty epoch span (the
+    # arrivals/completions the array data plane absorbed since the
+    # previous engine event)
+    "batch.span": {"arrivals": (int,), "completions": (int,), "rejected": (int,)},
     # fluid backend: one event per constant-fleet integration segment
     "fluid.interval": {
         "duration": _FLOAT,

@@ -9,6 +9,13 @@ seconds to the paper's day-of-week/time-of-day coordinates, and a fast
 cross-validates the event-driven results at full paper scale.
 """
 
+from .batch import (
+    SoAQueues,
+    fifo_departures,
+    fifo_departures_grouped,
+    round_robin_departures,
+    safe_block_length,
+)
 from .calendar import (
     DAY_NAMES,
     SECONDS_PER_DAY,
@@ -28,6 +35,11 @@ from .rng import RandomStreams, fnv1a64
 __all__ = [
     "Engine",
     "EventHandle",
+    "SoAQueues",
+    "fifo_departures",
+    "fifo_departures_grouped",
+    "round_robin_departures",
+    "safe_block_length",
     "PRIORITY_HIGH",
     "PRIORITY_NORMAL",
     "PRIORITY_LOW",

@@ -221,6 +221,26 @@ class Engine:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def peek(self) -> Optional[float]:
+        """Firing time of the next live event, or ``None`` if drained.
+
+        Pops lazily-cancelled heads as a side effect (they are dead
+        weight either way), so a following :meth:`step` fires exactly
+        the event whose time was returned.  Used by the vectorized
+        backend's epoch loop: the array data plane advances to the next
+        engine event's time before the event fires.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[4]:
+                _heappop(heap)
+                if self._cancelled:
+                    self._cancelled -= 1
+                continue
+            return entry[0]
+        return None
+
     def run(self, until: Optional[float] = None) -> None:
         """Execute events in time order.
 

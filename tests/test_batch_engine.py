@@ -1,0 +1,332 @@
+"""The vectorized SoA data plane against its scalar reference.
+
+Three layers of evidence that ``repro.sim.batch`` + ``VectorFleet``
+are a *performance* change and not a *semantics* change:
+
+1. Kernel unit tests — every array kernel (Lindley unroll, grouped
+   rows, round-robin reshape, safe block length, SoA assign/drain)
+   checked against a brute-force scalar loop.
+2. Backend cross-checks — ``des-vec`` vs ``des`` on jitterless web and
+   scientific scenarios must agree **bit-for-bit** on the control
+   trajectory and exactly on every count; the fluid backend ties in as
+   the third independent implementation of the same control plane.
+3. A hypothesis property — the ``max_block`` batching knob changes
+   wall-clock only: any block size yields the identical
+   :class:`~repro.backends.base.RunMetrics`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AdaptivePolicy
+from repro.errors import ConfigurationError
+from repro.experiments import run_policy, scientific_scenario, web_scenario
+from repro.backends import DESVecBackend
+from repro.sim import (
+    Engine,
+    SoAQueues,
+    fifo_departures,
+    fifo_departures_grouped,
+    round_robin_departures,
+    safe_block_length,
+)
+from repro.workloads import ScientificWorkload, WebWorkload
+
+# ---------------------------------------------------------------------------
+# kernel unit tests
+# ---------------------------------------------------------------------------
+
+
+def _lindley_loop(arrivals, services, ready=-math.inf):
+    dep = []
+    prev = ready
+    for a, s in zip(arrivals, services):
+        start = max(a, prev)
+        prev = start + s
+        dep.append(prev)
+    return np.array(dep)
+
+
+def test_fifo_departures_matches_scalar_loop():
+    rng = np.random.default_rng(7)
+    arrivals = np.sort(rng.uniform(0.0, 100.0, size=200))
+    services = rng.exponential(2.0, size=200)
+    # The cumsum unroll reassociates the float additions, so the match
+    # is to within a few ulps, not bitwise (the SoA data plane used by
+    # VectorFleet performs the scalar-ordered arithmetic and IS exact).
+    np.testing.assert_allclose(
+        fifo_departures(arrivals, services),
+        _lindley_loop(arrivals, services),
+        rtol=1e-12,
+    )
+
+
+def test_fifo_departures_respects_ready_time():
+    arrivals = np.array([1.0, 2.0, 3.0])
+    services = np.array([1.0, 1.0, 1.0])
+    # Server busy until t=10: everything queues behind it.
+    np.testing.assert_array_equal(
+        fifo_departures(arrivals, services, ready=10.0),
+        np.array([11.0, 12.0, 13.0]),
+    )
+
+
+def test_fifo_departures_empty_and_mismatch():
+    assert fifo_departures(np.empty(0), np.empty(0)).size == 0
+    with pytest.raises(ConfigurationError):
+        fifo_departures(np.zeros(3), np.zeros(2))
+
+
+def test_fifo_departures_grouped_rows_are_independent_servers():
+    rng = np.random.default_rng(11)
+    arrivals = np.sort(rng.uniform(0.0, 50.0, size=(4, 40)), axis=1)
+    services = rng.exponential(1.5, size=(4, 40))
+    ready = rng.uniform(0.0, 10.0, size=4)
+    got = fifo_departures_grouped(arrivals, services, ready=ready)
+    for row in range(4):
+        np.testing.assert_allclose(
+            got[row],
+            _lindley_loop(arrivals[row], services[row], ready=ready[row]),
+            rtol=1e-12,
+        )
+
+
+def test_round_robin_departures_matches_scalar_dispatch():
+    rng = np.random.default_rng(3)
+    n, m = 237, 5  # deliberately not a multiple of m: exercises padding
+    arrivals = np.sort(rng.uniform(0.0, 300.0, size=n))
+    services = rng.exponential(4.0, size=n)
+    got = round_robin_departures(arrivals, services, m)
+    free = [-math.inf] * m
+    want = np.empty(n)
+    for i in range(n):
+        q = i % m
+        start = max(arrivals[i], free[q])
+        free[q] = start + services[i]
+        want[i] = free[q]
+    np.testing.assert_allclose(got, want, rtol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    occ=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=8),
+    capacity=st.integers(min_value=1, max_value=3),
+)
+def test_safe_block_length_is_exact(occ, capacity):
+    occ = np.minimum(np.array(occ), capacity)
+    n = occ.size
+    length = safe_block_length(occ, capacity)
+    assert length >= 0
+
+    def overflows(block):
+        counts = occ.copy()
+        for i in range(block):
+            q = i % n
+            if counts[q] >= capacity:
+                return True
+            counts[q] += 1
+        return False
+
+    # The computed block never lands a request on a full station —
+    # and it is maximal: one more request would.
+    assert not overflows(length)
+    assert overflows(length + 1)
+
+
+def test_soa_assign_and_drain_single_station_is_lindley():
+    soa = SoAQueues(capacity=4)
+    idx = soa.alloc()
+    station = np.array([idx], dtype=np.intp)
+    arrivals = np.array([0.0, 0.5, 1.0])
+    services = np.array([2.0, 2.0, 2.0])
+    for i in range(3):
+        soa.assign(station, arrivals[i : i + 1], services[i : i + 1])
+    waves = soa.drain(station, 100.0)
+    dep = np.concatenate([w[1] for w in waves])
+    np.testing.assert_array_equal(np.sort(dep), _lindley_loop(arrivals, services))
+    assert soa.occupancy(station)[0] == 0
+
+
+def test_soa_drain_strict_excludes_boundary_completion():
+    soa = SoAQueues(capacity=2)
+    idx = soa.alloc()
+    station = np.array([idx], dtype=np.intp)
+    soa.assign(station, np.array([0.0]), np.array([5.0]))
+    assert soa.drain(station, 5.0, strict=True) == []
+    waves = soa.drain(station, 5.0, strict=False)
+    assert len(waves) == 1
+    np.testing.assert_array_equal(waves[0][1], np.array([5.0]))
+
+
+def test_soa_assign_overflow_guard():
+    soa = SoAQueues(capacity=1)
+    idx = soa.alloc()
+    station = np.array([idx], dtype=np.intp)
+    soa.assign(station, np.array([0.0]), np.array([10.0]))
+    with pytest.raises(ConfigurationError):
+        soa.assign(station, np.array([1.0]), np.array([10.0]))
+
+
+def test_soa_speed_divides_service_at_start():
+    soa = SoAQueues(capacity=3)
+    idx = soa.alloc()
+    station = np.array([idx], dtype=np.intp)
+    soa.speed[idx] = 2.0
+    # In-service request: effective time 10/2 = 5.  Queued request is
+    # stored raw and divided at promotion.
+    soa.assign(station, np.array([0.0]), np.array([10.0]))
+    soa.assign(station, np.array([1.0]), np.array([10.0]))
+    waves = soa.drain(station, 100.0)
+    dep = np.concatenate([w[1] for w in waves])
+    np.testing.assert_array_equal(np.sort(dep), np.array([5.0, 10.0]))
+
+
+def test_engine_peek_skips_cancelled_and_reports_next_time():
+    eng = Engine()
+    first = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    assert eng.peek() == 1.0
+    eng.cancel(first)
+    assert eng.peek() == 2.0
+    eng.run()
+    assert eng.peek() is None
+
+
+# ---------------------------------------------------------------------------
+# backend cross-checks
+# ---------------------------------------------------------------------------
+
+SCALE = 5000.0
+HORIZON = 6 * 3600.0
+
+EXACT_FIELDS = (
+    "total_requests",
+    "accepted",
+    "completed",
+    "rejected",
+    "qos_violations",
+    "min_instances",
+    "max_instances",
+    "vm_hours",
+    "core_hours",
+    "utilization",
+    "mean_response_time",
+)
+
+
+@pytest.fixture(scope="module")
+def web():
+    base = web_scenario(scale=SCALE, horizon=HORIZON, track_fleet_series=True)
+    scenario = base.with_updates(
+        workload=WebWorkload(service_jitter=0.0).scaled(SCALE)
+    )
+    return {
+        backend: run_policy(scenario, AdaptivePolicy(), seed=0, backend=backend)
+        for backend in ("des", "des-vec", "fluid")
+    }
+
+
+@pytest.fixture(scope="module")
+def scientific():
+    scale = 50.0
+    base = scientific_scenario(scale=scale, horizon=12 * 3600.0, track_fleet_series=True)
+    scenario = base.with_updates(
+        workload=ScientificWorkload(service_jitter=0.0).scaled(scale)
+    )
+    return {
+        backend: run_policy(scenario, AdaptivePolicy(), seed=0, backend=backend)
+        for backend in ("des", "des-vec")
+    }
+
+
+def test_vec_backend_reports_its_tag(web):
+    assert web["des-vec"].backend == "des-vec"
+
+
+def test_web_control_series_bit_identical_across_all_backends(web):
+    assert web["des"].control_series, "adaptive run produced no actuations"
+    assert web["des-vec"].control_series == web["des"].control_series
+    assert web["fluid"].control_series == web["des"].control_series
+
+
+def test_web_fleet_series_identical(web):
+    assert web["des"].fleet_series
+    assert web["des-vec"].fleet_series == web["des"].fleet_series
+
+
+def test_web_aggregates_exactly_equal(web):
+    for name in EXACT_FIELDS:
+        assert getattr(web["des-vec"], name) == getattr(web["des"], name), name
+    # Welford-vs-Chan variance merging differs in the last ulp only.
+    assert web["des-vec"].response_time_std == pytest.approx(
+        web["des"].response_time_std, abs=1e-12
+    )
+
+
+def test_scientific_control_series_bit_identical(scientific):
+    assert scientific["des"].control_series
+    assert scientific["des-vec"].control_series == scientific["des"].control_series
+    assert scientific["des-vec"].fleet_series == scientific["des"].fleet_series
+    for name in EXACT_FIELDS:
+        assert getattr(scientific["des-vec"], name) == getattr(
+            scientific["des"], name
+        ), name
+
+
+def test_jittered_web_still_matches_scalar():
+    """With stochastic service times both engines draw in arrival order
+    from the same stream, so even the jittered run stays equal."""
+    scenario = web_scenario(scale=SCALE, horizon=HORIZON)
+    des = run_policy(scenario, AdaptivePolicy(), seed=1, backend="des")
+    vec = run_policy(scenario, AdaptivePolicy(), seed=1, backend="des-vec")
+    assert vec.control_series == des.control_series
+    assert vec.accepted == des.accepted
+    assert vec.rejected == des.rejected
+    assert vec.completed == des.completed
+    assert vec.vm_hours == des.vm_hours
+    assert vec.mean_response_time == pytest.approx(des.mean_response_time, rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# batching invariance property
+# ---------------------------------------------------------------------------
+
+_PROP_SCENARIO = web_scenario(scale=SCALE, horizon=2 * 3600.0)
+
+
+def _normalized(metrics):
+    # wall_seconds is the only field that is not a deterministic
+    # function of (scenario, policy, seed, backend); profile is already
+    # excluded from equality (compare=False).
+    return dataclasses.replace(metrics, wall_seconds=0.0)
+
+
+_REFERENCE = None
+
+
+def _reference():
+    global _REFERENCE
+    if _REFERENCE is None:
+        _REFERENCE = _normalized(
+            run_policy(_PROP_SCENARIO, AdaptivePolicy(), seed=0, backend="des-vec")
+        )
+    return _REFERENCE
+
+
+@settings(max_examples=12, deadline=None)
+@given(max_block=st.integers(min_value=1, max_value=4096))
+def test_max_block_choice_never_changes_results(max_block):
+    got = run_policy(
+        _PROP_SCENARIO,
+        AdaptivePolicy(),
+        seed=0,
+        backend=DESVecBackend(max_block=max_block),
+    )
+    assert _normalized(got) == _reference()

@@ -195,8 +195,12 @@ def test_shipped_specs_load_and_expand():
     tomllib = pytest.importorskip("tomllib")  # noqa: F841 - py3.11+ only
     paper = CampaignSpec.load("campaigns/paper.toml")
     cells = paper.expanded()
-    assert len(cells) == 6 + 6 + 18 + 6  # fig5 + fig5-fluid + fig6(x3 seeds) + fig6-fluid
+    # fig5 + fig5-fullscale + fig6(x3 seeds) + fig6-fullscale(x3 seeds)
+    assert len(cells) == 6 + 6 + 18 + 18
     assert len(paper.expanded(quick=True)) == 6 + 6 + 6 + 6
+    # The full §V grid now runs entirely on the DES (scalar + vectorized);
+    # the fluid engine participates as each cell's prescreen twin.
+    assert {c.backend for c in cells} == {"des", "des-vec"}
     smoke = CampaignSpec.load("campaigns/smoke.toml")
     assert len(smoke.expanded()) == 4
 

@@ -88,6 +88,58 @@ def test_determinism_whitelist_and_seeded_construction_clean(tmp_path):
     assert result.findings == []
 
 
+def test_determinism_vectorized_kernel_idioms(tmp_path):
+    """Vectorized-numpy hot paths: legacy global draws fire, Generator
+    arguments and pure array kernels stay clean.
+
+    Guards the ``repro.sim.batch`` style — batched kernels must take
+    their randomness as pre-drawn arrays or an explicit
+    ``np.random.Generator``, never reach for the global numpy RNG.
+    """
+    fired = lint_tree(
+        tmp_path,
+        {
+            "repro/sim/batchy.py": """
+                import numpy as np
+
+                def jittered_services(n, mean):
+                    # banned: ambient global-state draw inside a kernel
+                    return np.random.exponential(mean, size=n)
+
+                def shuffled(order):
+                    np.random.shuffle(order)
+                    return order
+            """
+        },
+        rules=["determinism"],
+    )
+    messages = [f.message for f in by_rule(fired, "determinism")]
+    assert len(messages) == 2
+    assert any("np.random.exponential" in m for m in messages)
+    assert any("np.random.shuffle" in m for m in messages)
+
+    clean = lint_tree(
+        tmp_path / "ok",
+        {
+            "repro/sim/batchy.py": """
+                import numpy as np
+
+                def jittered_services(rng: np.random.Generator, n, mean):
+                    # sanctioned: caller-provided seeded Generator
+                    return rng.exponential(mean, size=n)
+
+                def departures(arrivals, services):
+                    # pure array kernel: no randomness at all
+                    totals = np.cumsum(services)
+                    floors = arrivals - np.concatenate(([0.0], totals[:-1]))
+                    return totals + np.maximum.accumulate(floors)
+            """
+        },
+        rules=["determinism"],
+    )
+    assert by_rule(clean, "determinism") == []
+
+
 def test_determinism_ignores_non_repro_modules(tmp_path):
     result = lint_tree(
         tmp_path,
