@@ -102,6 +102,12 @@ class RunMetrics:
         run's phase wall-clock and event counters.  Excluded from
         equality (``compare=False``): timings are nondeterministic, so
         sequential and parallel replications still compare equal.
+    telemetry:
+        :meth:`repro.obs.metrics.RunTelemetry.finalize` dump (registry
+        state + snapshot series) when the run was executed with a
+        :class:`~repro.obs.metrics.MetricsConfig`; empty otherwise.
+        Excluded from equality like ``profile`` so metrics-on and
+        metrics-off replications of the same run still compare equal.
     """
 
     scenario: str
@@ -131,6 +137,7 @@ class RunMetrics:
     cache_misses: int = 0
     compactions: int = 0
     profile: Dict[str, Dict[str, float]] = field(default_factory=dict, compare=False)
+    telemetry: Dict[str, object] = field(default_factory=dict, compare=False)
 
 
 @runtime_checkable
@@ -148,6 +155,7 @@ class ExecutionBackend(Protocol):
         balancer=None,
         trace=None,
         audit=None,
+        metrics=None,
     ) -> RunMetrics:
         """Execute one replication and return its unified metrics."""
         ...  # pragma: no cover - protocol body

@@ -26,6 +26,7 @@ from ..core.context import SimulationContext
 from ..core.policies import ProvisioningPolicy
 from ..metrics.collector import MetricsCollector
 from ..obs.bus import TraceBus, TraceConfig
+from ..obs.metrics import MetricsConfig, RunTelemetry
 from ..obs.profile import RunProfile, Stopwatch
 from ..sim.engine import Engine
 from ..sim.rng import RandomStreams
@@ -43,12 +44,14 @@ def build_context(
     balancer: Optional[LoadBalancer] = None,
     tracer: Optional[TraceBus] = None,
     audit: Optional[object] = None,
+    registry: Optional[object] = None,
 ) -> SimulationContext:
     """Wire the data plane of one replication (no policy attached).
 
-    ``tracer`` (a :class:`~repro.obs.bus.TraceBus`) and ``audit`` (a
-    :class:`~repro.obs.audit.DecisionAuditLog`) are threaded into every
-    instrumented component; both default to ``None`` — tracing off.
+    ``tracer`` (a :class:`~repro.obs.bus.TraceBus`), ``audit`` (a
+    :class:`~repro.obs.audit.DecisionAuditLog`) and ``registry`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) are threaded into every
+    instrumented component; all default to ``None`` — observability off.
     """
     streams = RandomStreams(seed)
     engine = Engine(tracer=tracer)
@@ -68,6 +71,7 @@ def build_context(
         default_service_time=workload.mean_service_time,
         rate_sample_interval=scenario.rate_sample_interval,
         tracer=tracer,
+        registry=registry,
     )
     sampler = workload.service_sampler(streams.get("service"))
     capacity = scenario.capacity
@@ -108,6 +112,38 @@ def build_context(
         horizon=scenario.horizon,
         tracer=tracer,
         audit=audit,
+        registry=registry,
+    )
+
+
+def _build_telemetry(
+    metrics: MetricsConfig,
+    registry,
+    scenario: "ScenarioConfig",
+    ctx: SimulationContext,
+    tracer: Optional[TraceBus],
+) -> RunTelemetry:
+    """One :class:`RunTelemetry` wired to a built DES context.
+
+    Shared by the scalar and vectorized DES backends so both sample the
+    identical snapshot fields at the identical cadence
+    (``metrics.interval`` falling back to the scenario's control epoch).
+    """
+    modeler = getattr(ctx.provisioner, "modeler", None)
+    cache_fn = (
+        (lambda md=modeler: (md.cache_hits, md.cache_misses))
+        if modeler is not None
+        else None
+    )
+    return RunTelemetry(
+        registry,
+        metrics,
+        scenario.qos.max_response_time,
+        metrics.interval if metrics.interval is not None else scenario.update_interval,
+        collector=ctx.metrics,
+        fleet_size_fn=lambda f=ctx.fleet: f.serving_count,
+        cache_fn=cache_fn,
+        tracer=tracer,
     )
 
 
@@ -124,6 +160,7 @@ class DESBackend:
         balancer: Optional[LoadBalancer] = None,
         trace: Optional[Union[TraceConfig, TraceBus]] = None,
         audit: Optional[object] = None,
+        metrics: Optional[MetricsConfig] = None,
     ) -> RunMetrics:
         """Run one replication of (scenario, policy) and collect metrics.
 
@@ -139,6 +176,13 @@ class DESBackend:
         audit:
             Optional :class:`~repro.obs.audit.DecisionAuditLog`
             capturing every Algorithm-1 invocation of this run.
+        metrics:
+            Optional :class:`~repro.obs.metrics.MetricsConfig`.  When
+            set, the run carries a metrics registry (response-time
+            histogram fed by the monitor, control-plane counters) and a
+            periodic ``metrics.snapshot`` sampler; the finalized
+            telemetry lands in :attr:`RunMetrics.telemetry` (and on
+            disk when the config has a ``path``).
         """
         profile = RunProfile()
         if isinstance(trace, TraceConfig):
@@ -157,8 +201,23 @@ class DESBackend:
                     seed=int(seed),
                 )
             with profile.phase("build"):
-                ctx = build_context(scenario, seed, balancer, tracer=tracer, audit=audit)
+                registry = (
+                    metrics.build(scenario.qos.max_response_time)
+                    if metrics is not None
+                    else None
+                )
+                ctx = build_context(
+                    scenario, seed, balancer, tracer=tracer, audit=audit,
+                    registry=registry,
+                )
                 policy.attach(ctx)
+                telemetry = (
+                    _build_telemetry(metrics, registry, scenario, ctx, tracer)
+                    if metrics is not None
+                    else None
+                )
+                if telemetry is not None:
+                    telemetry.install(ctx.engine)
                 ctx.source.start()
             watch = Stopwatch()
             with profile.phase("run"):
@@ -174,6 +233,22 @@ class DESBackend:
                 cache_misses = modeler.cache_misses if modeler is not None else 0
                 control = getattr(ctx.provisioner, "control", None)
                 control_series = control.trajectory if control is not None else ()
+                telemetry_dict: dict = {}
+                if telemetry is not None:
+                    telemetry_dict = telemetry.finalize(
+                        m.total_requests,
+                        m.accepted,
+                        m.rejected,
+                        m.completed,
+                        m.violations,
+                        ctx.fleet.serving_count,
+                        cache_hits=cache_hits,
+                        cache_misses=cache_misses,
+                    )
+                    if metrics.path:
+                        telemetry.write_jsonl(
+                            metrics.resolve_path(scenario.name, policy.name, seed)
+                        )
             profile.count("events", ctx.engine.events_fired)
             profile.count("compactions", ctx.engine.compactions)
             if tracer is not None:
@@ -212,6 +287,7 @@ class DESBackend:
                 cache_misses=cache_misses,
                 compactions=ctx.engine.compactions,
                 profile=profile.to_dict(),
+                telemetry=telemetry_dict,
             )
         finally:
             if owns_bus and tracer is not None:

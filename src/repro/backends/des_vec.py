@@ -32,10 +32,12 @@ from ..core.context import SimulationContext
 from ..core.policies import ProvisioningPolicy
 from ..metrics.collector import MetricsCollector
 from ..obs.bus import TraceBus, TraceConfig
+from ..obs.metrics import MetricsConfig
 from ..obs.profile import RunProfile, Stopwatch
 from ..sim.engine import Engine
 from ..sim.rng import RandomStreams
 from .base import RunMetrics
+from .des import _build_telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only for annotations
     from ..experiments.scenario import ScenarioConfig
@@ -50,6 +52,7 @@ def build_vec_context(
     tracer: Optional[TraceBus] = None,
     audit: Optional[object] = None,
     max_block: int = 65_536,
+    registry: Optional[object] = None,
 ) -> SimulationContext:
     """Wire the batched data plane of one replication (no policy attached).
 
@@ -78,6 +81,7 @@ def build_vec_context(
         default_service_time=workload.mean_service_time,
         rate_sample_interval=scenario.rate_sample_interval,
         tracer=tracer,
+        registry=registry,
     )
     sampler = workload.service_sampler(streams.get("service"))
     capacity = scenario.capacity
@@ -93,6 +97,7 @@ def build_vec_context(
         tracer=tracer,
         max_block=max_block,
         count_arrivals=scenario.count_arrivals,
+        registry=registry,
     )
     source = WorkloadSource(
         engine=engine,
@@ -117,6 +122,7 @@ def build_vec_context(
         horizon=scenario.horizon,
         tracer=tracer,
         audit=audit,
+        registry=registry,
     )
 
 
@@ -146,12 +152,14 @@ class DESVecBackend:
         balancer: Optional[LoadBalancer] = None,
         trace: Optional[Union[TraceConfig, TraceBus]] = None,
         audit: Optional[object] = None,
+        metrics: Optional[MetricsConfig] = None,
     ) -> RunMetrics:
         """Run one replication through the epoch loop and collect metrics.
 
-        ``trace``/``audit`` behave exactly as on the scalar DES backend;
-        traced runs additionally emit one ``batch.span`` summary per
-        non-empty epoch span.
+        ``trace``/``audit``/``metrics`` behave exactly as on the scalar
+        DES backend; traced runs additionally emit one ``batch.span``
+        summary per non-empty epoch span, and the metrics registry
+        additionally counts spans and flushed requests.
         """
         profile = RunProfile()
         if isinstance(trace, TraceConfig):
@@ -170,6 +178,11 @@ class DESVecBackend:
                     seed=int(seed),
                 )
             with profile.phase("build"):
+                registry = (
+                    metrics.build(scenario.qos.max_response_time)
+                    if metrics is not None
+                    else None
+                )
                 ctx = build_vec_context(
                     scenario,
                     seed,
@@ -177,8 +190,16 @@ class DESVecBackend:
                     tracer=tracer,
                     audit=audit,
                     max_block=self.max_block,
+                    registry=registry,
                 )
                 policy.attach(ctx)
+                telemetry = (
+                    _build_telemetry(metrics, registry, scenario, ctx, tracer)
+                    if metrics is not None
+                    else None
+                )
+                if telemetry is not None:
+                    telemetry.install(ctx.engine)
                 ctx.source.start()
             watch = Stopwatch()
             with profile.phase("run"):
@@ -206,6 +227,22 @@ class DESVecBackend:
                 cache_misses = modeler.cache_misses if modeler is not None else 0
                 control = getattr(ctx.provisioner, "control", None)
                 control_series = control.trajectory if control is not None else ()
+                telemetry_dict: dict = {}
+                if telemetry is not None:
+                    telemetry_dict = telemetry.finalize(
+                        m.total_requests,
+                        m.accepted,
+                        m.rejected,
+                        m.completed,
+                        m.violations,
+                        ctx.fleet.serving_count,
+                        cache_hits=cache_hits,
+                        cache_misses=cache_misses,
+                    )
+                    if metrics.path:
+                        telemetry.write_jsonl(
+                            metrics.resolve_path(scenario.name, policy.name, seed)
+                        )
             # The backend's unit of work: epoch events plus the
             # arrivals/completions the array plane absorbed.
             work = (
@@ -254,6 +291,7 @@ class DESVecBackend:
                 cache_misses=cache_misses,
                 compactions=ctx.engine.compactions,
                 profile=profile.to_dict(),
+                telemetry=telemetry_dict,
             )
         finally:
             if owns_bus and tracer is not None:

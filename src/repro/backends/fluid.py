@@ -24,6 +24,7 @@ from ..cloud.vm import DEFAULT_VM_SPEC
 from ..core.policies import AdaptivePolicy, ProvisioningPolicy, StaticPolicy
 from ..errors import ConfigurationError
 from ..obs.bus import TraceBus, TraceConfig
+from ..obs.metrics import MetricsConfig, RunTelemetry
 from ..obs.profile import RunProfile, Stopwatch
 from ..sim.fluid import FluidSimulator
 from .base import RunMetrics
@@ -63,6 +64,7 @@ class FluidBackend:
         balancer=None,
         trace: Optional[Union[TraceConfig, TraceBus]] = None,
         audit: Optional[object] = None,
+        metrics: Optional[MetricsConfig] = None,
     ) -> RunMetrics:
         """Evaluate one replication analytically and collect metrics.
 
@@ -70,7 +72,9 @@ class FluidBackend:
         run emits ``run.start``/``run.end``, the control plane emits
         ``prediction.issued``/``decision``/``scaling.actuated``, and
         the engine adds one ``fluid.interval`` event per constant-fleet
-        segment.
+        segment.  ``metrics`` computes the ``metrics.snapshot`` series
+        from the integration grid (expected flows — see
+        :meth:`~repro.obs.metrics.RunTelemetry.sample_grid`).
         """
         if balancer is not None:
             raise ConfigurationError(
@@ -100,6 +104,11 @@ class FluidBackend:
                     dt=self.dt,
                     flow_model=self.flow_model,
                 )
+                registry = (
+                    metrics.build(scenario.qos.max_response_time)
+                    if metrics is not None
+                    else None
+                )
                 control = None
                 if isinstance(policy, AdaptivePolicy):
                     datacenter = Datacenter(
@@ -114,19 +123,36 @@ class FluidBackend:
                         max_vms=datacenter.max_vms(DEFAULT_VM_SPEC),
                         tracer=tracer,
                         audit=audit,
+                        registry=registry,
                     )
                 elif not isinstance(policy, StaticPolicy):
                     raise ConfigurationError(
                         f"the fluid backend cannot execute {type(policy).__name__}; "
                         "supported policies are StaticPolicy and AdaptivePolicy"
                     )
+                telemetry = None
+                if metrics is not None:
+                    telemetry = RunTelemetry(
+                        registry,
+                        metrics,
+                        scenario.qos.max_response_time,
+                        metrics.interval
+                        if metrics.interval is not None
+                        else scenario.update_interval,
+                        tracer=tracer,
+                    )
             watch = Stopwatch()
             with profile.phase("run"):
                 if control is not None:
-                    agg = sim.run_adaptive(control, scenario.horizon, tracer=tracer)
+                    agg = sim.run_adaptive(
+                        control, scenario.horizon, tracer=tracer, telemetry=telemetry
+                    )
                 else:
                     agg = sim.run_static(
-                        policy.instances, scenario.horizon, tracer=tracer
+                        policy.instances,
+                        scenario.horizon,
+                        tracer=tracer,
+                        telemetry=telemetry,
                     )
             wall = watch.elapsed()
             with profile.phase("finalize"):
@@ -136,6 +162,22 @@ class FluidBackend:
                 control_series = (
                     control.trajectory if control is not None else agg.fleet_series
                 )
+                telemetry_dict: dict = {}
+                if telemetry is not None:
+                    telemetry_dict = telemetry.finalize(
+                        agg.total_requests,
+                        agg.accepted,
+                        agg.rejected,
+                        agg.accepted,  # flows always drain: completed == accepted
+                        0,
+                        agg.fleet_series[-1][1] if agg.fleet_series else 0,
+                        cache_hits=cache_hits,
+                        cache_misses=cache_misses,
+                    )
+                    if metrics.path:
+                        telemetry.write_jsonl(
+                            metrics.resolve_path(scenario.name, policy.name, seed)
+                        )
             profile.count("intervals", agg.intervals)
             if tracer is not None:
                 tracer.emit(
@@ -173,6 +215,7 @@ class FluidBackend:
                 cache_misses=cache_misses,
                 compactions=0,
                 profile=profile.to_dict(),
+                telemetry=telemetry_dict,
             )
         finally:
             if owns_bus and tracer is not None:

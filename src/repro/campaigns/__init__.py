@@ -30,6 +30,7 @@ from .executor import CampaignResult, CellOutcome, run_campaign
 from .report import campaign_report, campaign_status_rows
 from .spec import CAMPAIGN_SCHEMA_VERSION, CampaignSpec, Cell, ScenarioGrid
 from .store import ResultStore
+from .watch import CellProgress, snapshot_progress, watch, watch_table
 
 __all__ = [
     "CAMPAIGN_SCHEMA_VERSION",
@@ -42,4 +43,8 @@ __all__ = [
     "run_campaign",
     "campaign_report",
     "campaign_status_rows",
+    "CellProgress",
+    "snapshot_progress",
+    "watch",
+    "watch_table",
 ]

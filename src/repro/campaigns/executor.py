@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..experiments.runner import run_replications
 from ..obs.bus import TraceBus, TraceConfig
 from ..obs.log import get_logger, kv
+from ..obs.metrics import MetricsConfig
 from ..obs.profile import Stopwatch
 from .spec import CampaignSpec, Cell
 from .store import ResultStore
@@ -146,6 +147,7 @@ def run_campaign(
     trace: Optional[Union[TraceBus, TraceConfig]] = None,
     max_cells: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    metrics: Optional[MetricsConfig] = None,
 ) -> CampaignResult:
     """Execute (or resume) a campaign against its result store.
 
@@ -173,6 +175,11 @@ def run_campaign(
         semantics (cached and screened cells do not count).
     progress:
         Optional line sink (e.g. ``print``) for per-group progress.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsConfig` forwarded to
+        every executed cell.  A config without a ``path`` is pointed at
+        the store's ``telemetry/`` directory, which is where
+        ``repro campaign watch`` reads live snapshot streams from.
 
     Returns
     -------
@@ -188,6 +195,10 @@ def run_campaign(
 
         workers = default_workers()
     pool_workers = max(1, int(workers))
+    if metrics is not None and metrics.path is None:
+        metrics = dataclasses.replace(
+            metrics, path=str(store.root / "telemetry") + "/"
+        )
 
     cells = spec.expanded(quick=quick)
     bus, owns_bus = _build_bus(trace, spec)
@@ -235,10 +246,20 @@ def run_campaign(
             for cell in rest:
                 finish(cell, "skipped")
             budget -= len(batch)
-            _run_group(spec, store, head, batch, pool_workers, bus, elapsed, finish, say)
+            _run_group(
+                spec, store, head, batch, pool_workers, bus, elapsed, finish,
+                say, metrics,
+            )
     finally:
-        if owns_bus and bus is not None:
-            bus.close()
+        # Interrupt-path guarantee: a campaign killed mid-run must leave
+        # every already-emitted event on disk.  Owned buses are closed
+        # (final flush included); borrowed ones are flushed but left
+        # open for the caller.
+        if bus is not None:
+            if owns_bus:
+                bus.close()
+            else:
+                bus.flush()
 
     # Report outcomes in grid order.
     result.outcomes = [emitted[c.key()] for c in cells]
@@ -311,6 +332,7 @@ def _run_group(
     elapsed: Callable[[], float],
     finish: Callable,
     say: Callable[[str], None],
+    metrics: Optional[MetricsConfig] = None,
 ) -> None:
     """One (scenario, policy, backend) group through the pool, with retry."""
     seeds = [c.seed for c in batch]
@@ -342,17 +364,18 @@ def _run_group(
                 seeds=seeds,
                 workers=attempt_workers,
                 backend=head.backend,
+                metrics=metrics,
             )
-            for metrics in results:
-                cell = by_seed[metrics.seed]
-                store.put(cell, metrics)
+            for run in results:
+                cell = by_seed[run.seed]
+                store.put(cell, run)
                 finish(cell, "executed")
                 if bus is not None:
                     bus.emit(
                         "campaign.cell.done",
                         elapsed(),
                         key=cell.key(),
-                        wall_seconds=float(metrics.wall_seconds),
+                        wall_seconds=float(run.wall_seconds),
                     )
             say(
                 f"ran {group_label} seeds {seeds} "

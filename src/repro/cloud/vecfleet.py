@@ -68,8 +68,11 @@ class VectorFleet:
 
     Parameters mirror :class:`~repro.cloud.fleet.ApplicationFleet`;
     additionally ``max_block`` caps the arrival-block size (purely a
-    memory/latency knob — results are block-size invariant) and
-    ``count_arrivals`` enables the monitor's arrival-rate counter.
+    memory/latency knob — results are block-size invariant),
+    ``count_arrivals`` enables the monitor's arrival-rate counter, and
+    ``registry`` (a :class:`repro.obs.metrics.MetricsRegistry`) counts
+    flushed spans and the requests they carried — span-cadence updates,
+    so the per-request hot loop stays untouched.
 
     Only round-robin dispatch is implemented: a ``balancer`` argument
     must be ``None`` or a :class:`RoundRobinBalancer` (other strategies
@@ -90,6 +93,7 @@ class VectorFleet:
         tracer: Optional[object] = None,
         max_block: int = 65_536,
         count_arrivals: bool = False,
+        registry: Optional[object] = None,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(f"queue capacity k must be >= 1, got {capacity}")
@@ -113,6 +117,13 @@ class VectorFleet:
         self._tracer = tracer
         self._max_block = int(max_block)
         self._count_arrivals = bool(count_arrivals)
+        if registry is not None:
+            self._m_spans = registry.counter("batch.spans")
+            self._m_flushed = registry.counter("batch.flushed_requests")
+        else:
+            self._m_spans = None
+            self._m_flushed = None
+        self._last_span_t = 0.0
         # -- station state ---------------------------------------------
         self._soa = SoAQueues(self.capacity)
         self._vms: Dict[int, VirtualMachine] = {}
@@ -465,16 +476,22 @@ class VectorFleet:
                 self._metrics.record_fleet_size(t_done, self.live_count)
             self._pending_destroy = []
             self._refresh_index_cache()
-        if (accepted or rejected or completions) and self._tracer is not None:
-            self._tracer.emit(
-                "batch.span",
-                t_end,
-                arrivals=accepted + rejected,
-                completions=completions,
-                rejected=rejected,
-            )
         if accepted or rejected or completions:
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "batch.span",
+                    t_end,
+                    arrivals=accepted + rejected,
+                    completions=completions,
+                    rejected=rejected,
+                    stations=len(self._active),
+                    width=t_end - self._last_span_t,
+                )
+            if self._m_spans is not None:
+                self._m_spans.inc()
+                self._m_flushed.inc(accepted + rejected + completions)
             self.spans += 1
+            self._last_span_t = t_end
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

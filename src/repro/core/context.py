@@ -54,6 +54,9 @@ class SimulationContext:
     audit:
         Optional :class:`repro.obs.audit.DecisionAuditLog` that records
         every Algorithm-1 invocation for replay/explanation.
+    registry:
+        Optional :class:`repro.obs.metrics.MetricsRegistry` shared by
+        every instrumented component (``None`` = metrics off).
     """
 
     engine: Engine
@@ -72,3 +75,4 @@ class SimulationContext:
     analyzer: Optional[object] = field(default=None)
     tracer: Optional[object] = field(default=None)
     audit: Optional[object] = field(default=None)
+    registry: Optional[object] = field(default=None)

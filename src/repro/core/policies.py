@@ -207,6 +207,7 @@ class AdaptivePolicy(ProvisioningPolicy):
         max_vms: int,
         tracer=None,
         audit=None,
+        registry=None,
     ) -> ControlPlane:
         """A self-driving :class:`~repro.core.controlplane.ControlPlane`
         for analytical backends (no engine, monitor, or fleet).
@@ -245,6 +246,7 @@ class AdaptivePolicy(ProvisioningPolicy):
             initial_instances=self.initial_instances,
             tracer=tracer,
             clock=clock,
+            registry=registry,
         )
 
     def attach(self, ctx: SimulationContext) -> None:
@@ -267,6 +269,7 @@ class AdaptivePolicy(ProvisioningPolicy):
             monitor=ctx.monitor,
             initial_instances=self.initial_instances,
             tracer=ctx.tracer,
+            registry=ctx.registry,
         )
         predictor = self.predictor_factory(ctx)
         analyzer = WorkloadAnalyzer(

@@ -1,0 +1,259 @@
+"""Benchmark regression gate — diff live timings against a committed baseline.
+
+``repro bench --compare BENCH_PR6.json`` re-measures a small set of
+named *gates* (the kernels whose cost the repo has promised across
+PRs: the scalar event chain, the batched round-robin Lindley kernel,
+the end-to-end des / des-vec web day) and compares each against the
+number recorded in the committed baseline document, failing loudly —
+non-zero exit in the CLI — when any gate slowed past the tolerance.
+
+Baselines come in two shapes, both supported:
+
+* the historical hand-written documents (``BENCH_PR6.json`` and
+  earlier), where each gate's seconds live at a document-specific
+  dotted path such as ``scalar.engine_event_throughput_50k.min``;
+* the uniform ``{"gates": {"<id>": {"seconds": ...}}}`` section that
+  ``baseline_document`` emits (``BENCH_PR7.json`` onward).
+
+Each gate carries its lookup-path candidates, so old and new documents
+compare through the same code path; a gate absent from the baseline is
+reported as ``no-baseline`` and never fails the run.  Tolerances are
+deliberately generous (default 3.0x) — shared CI hosts jitter, and the
+gate exists to catch order-of-magnitude regressions (an accidentally
+quadratic loop, a lost vectorization), not 10% noise.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .bench import _best_of, engine_throughput
+
+__all__ = [
+    "BENCH_GATES",
+    "GateResult",
+    "baseline_document",
+    "compare_to_baseline",
+    "format_comparison",
+    "lookup_gate",
+    "measure_gate",
+]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One named benchmark with its baseline lookup paths.
+
+    ``paths`` are tried in order against a baseline document — the
+    uniform ``gates.<id>.seconds`` shape first, then the dotted paths
+    of the historical hand-written BENCH_*.json layouts.  ``slow``
+    gates (multi-second end-to-end runs) are skipped in quick mode.
+    """
+
+    measure: Callable[[], float]
+    paths: Tuple[str, ...]
+    slow: bool = False
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of one gate comparison.
+
+    ``regressed`` is only ever ``True`` when a baseline exists and the
+    fresh measurement exceeds ``old_seconds * tolerance``.
+    """
+
+    gate: str
+    new_seconds: float
+    old_seconds: Optional[float]
+    tolerance: float
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.old_seconds is None or self.old_seconds <= 0:
+            return None
+        return self.new_seconds / self.old_seconds
+
+    @property
+    def regressed(self) -> bool:
+        ratio = self.ratio
+        return ratio is not None and ratio > self.tolerance
+
+
+def _measure_engine_50k() -> float:
+    return engine_throughput(events=50_000)["best_seconds"]
+
+
+def _measure_engine_500k() -> float:
+    return engine_throughput(events=500_000)["best_seconds"]
+
+
+def _measure_round_robin_50k() -> float:
+    import numpy as np
+
+    from ..sim.batch import round_robin_departures
+
+    rng = np.random.default_rng(0)
+    n = 50_000
+    arrivals = np.sort(rng.uniform(0.0, float(n) / 10.0, size=n))
+    services = rng.exponential(8.0, size=n)
+    round_robin_departures(arrivals, services, 100)  # warm numpy dispatch
+    return _best_of(lambda: round_robin_departures(arrivals, services, 100), 10)
+
+
+def _measure_end_to_end(backend: str) -> float:
+    from ..core.policies import AdaptivePolicy
+    from .runner import run_policy
+    from .scenario import web_scenario
+
+    scenario = web_scenario(scale=100.0, horizon=24 * 3600.0)
+    t0 = time.perf_counter()
+    run_policy(scenario, AdaptivePolicy(), seed=0, backend=backend)
+    return time.perf_counter() - t0
+
+
+def _measure_metrics_overhead_ratio() -> float:
+    from .bench import metrics_overhead
+
+    return metrics_overhead(repeats=1)["overhead_ratio"]
+
+
+#: The comparable gates, in report order.  Values compared are seconds
+#: (lower is better) except ``metrics_overhead_ratio``, which is the
+#: on/off wall-clock ratio — dimensionless, but "lower is better" still
+#: holds, so the same tolerance logic applies.
+BENCH_GATES: Dict[str, Gate] = {
+    "engine_event_throughput_50k": Gate(
+        _measure_engine_50k,
+        (
+            "gates.engine_event_throughput_50k.seconds",
+            "scalar.engine_event_throughput_50k.min",
+            "engine_throughput.best_seconds",
+        ),
+    ),
+    "engine_event_throughput_500k": Gate(
+        _measure_engine_500k,
+        (
+            "gates.engine_event_throughput_500k.seconds",
+            "scalar.engine_event_throughput_500k.min",
+        ),
+        slow=True,
+    ),
+    "round_robin_kernel_50k": Gate(
+        _measure_round_robin_50k,
+        (
+            "gates.round_robin_kernel_50k.seconds",
+            "batched.round_robin_kernel_50k.min",
+        ),
+    ),
+    "des_end_to_end_web_scale100": Gate(
+        lambda: _measure_end_to_end("des"),
+        (
+            "gates.des_end_to_end_web_scale100.seconds",
+            "end_to_end.des_seconds",
+        ),
+        slow=True,
+    ),
+    "des_vec_end_to_end_web_scale100": Gate(
+        lambda: _measure_end_to_end("des-vec"),
+        (
+            "gates.des_vec_end_to_end_web_scale100.seconds",
+            "end_to_end.des_vec_seconds",
+        ),
+        slow=True,
+    ),
+    "metrics_overhead_ratio": Gate(
+        _measure_metrics_overhead_ratio,
+        ("gates.metrics_overhead_ratio.seconds",),
+        slow=True,
+    ),
+}
+
+
+def lookup_gate(doc: Mapping[str, Any], gate_id: str) -> Optional[float]:
+    """The baseline seconds for ``gate_id`` in ``doc``, or ``None``."""
+    gate = BENCH_GATES[gate_id]
+    for path in gate.paths:
+        node: Any = doc
+        for key in path.split("."):
+            if not isinstance(node, Mapping) or key not in node:
+                node = None
+                break
+            node = node[key]
+        if isinstance(node, (int, float)):
+            return float(node)
+    return None
+
+
+def measure_gate(gate_id: str) -> float:
+    """Freshly measure one gate (seconds, or a ratio — lower is better)."""
+    return BENCH_GATES[gate_id].measure()
+
+
+def compare_to_baseline(
+    baseline: Mapping[str, Any],
+    tolerance: float = 3.0,
+    quick: bool = False,
+    gates: Optional[Sequence[str]] = None,
+) -> List[GateResult]:
+    """Measure every applicable gate and diff it against ``baseline``.
+
+    ``quick=True`` skips the ``slow`` (multi-second) gates; ``gates``
+    restricts the run to an explicit subset.  Gates missing from the
+    baseline document still measure and report, but cannot regress.
+    """
+    selected = list(gates) if gates is not None else list(BENCH_GATES)
+    results: List[GateResult] = []
+    for gate_id in selected:
+        gate = BENCH_GATES[gate_id]
+        if quick and gate.slow:
+            continue
+        results.append(
+            GateResult(
+                gate=gate_id,
+                new_seconds=gate.measure(),
+                old_seconds=lookup_gate(baseline, gate_id),
+                tolerance=float(tolerance),
+            )
+        )
+    return results
+
+
+def baseline_document(results: Sequence[GateResult]) -> Dict[str, Any]:
+    """The uniform ``{"gates": ...}`` section for a new BENCH_*.json."""
+    return {
+        "gates": {
+            r.gate: {"seconds": r.new_seconds} for r in results
+        }
+    }
+
+
+def format_comparison(results: Sequence[GateResult]) -> str:
+    """Plain-text gate table plus a one-line verdict."""
+    from ..metrics.report import format_table
+
+    rows: List[List[object]] = []
+    for r in results:
+        if r.old_seconds is None:
+            baseline, ratio, verdict = "-", "-", "no-baseline"
+        else:
+            baseline = f"{r.old_seconds:.6f}"
+            ratio = f"{r.ratio:.2f}x"
+            verdict = "REGRESSED" if r.regressed else "ok"
+        rows.append([r.gate, baseline, f"{r.new_seconds:.6f}", ratio, verdict])
+    table = format_table(
+        ["gate", "baseline", "measured", "ratio", "verdict"],
+        rows,
+        title="benchmark comparison",
+    )
+    bad = [r.gate for r in results if r.regressed]
+    if bad:
+        table += (
+            f"\nREGRESSION: {', '.join(bad)} exceeded "
+            f"{results[0].tolerance:.2f}x tolerance"
+        )
+    else:
+        table += f"\nall gates within {results[0].tolerance:.2f}x tolerance" if results else "\nno gates selected"
+    return table

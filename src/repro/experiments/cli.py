@@ -10,11 +10,16 @@ Installed as ``repro`` (and the legacy alias ``repro-experiments``)::
     repro run fig5-fluid
     repro run all --quick
     repro run fig5 --quick --trace traces/
+    repro run fig5 --metrics telemetry/
     repro trace traces/ --validate --timeline 20
+    repro metrics show telemetry/
+    repro metrics export telemetry/web-Adaptive-s0.jsonl --format prometheus
     repro bench --workers 4
+    repro bench --compare BENCH_PR6.json --tolerance 3.0
     repro lint src tests
     repro lint src --format json --baseline .reprolint.json
-    repro campaign run campaigns/paper.toml
+    repro campaign run campaigns/paper.toml --metrics
+    repro campaign watch campaigns/paper.toml --follow
     repro campaign status campaigns/paper.toml
     repro campaign report campaigns/paper.toml --out results/
 
@@ -31,6 +36,14 @@ replication (control-plane events only unless ``--trace-requests``);
 ``trace`` renders such files back into a summary table, a timeline, or
 a narrated explanation of one Algorithm-1 decision, and validates them
 against the event schema.
+
+``run --metrics DIR`` writes one ``metrics.snapshot`` JSONL stream per
+(policy, seed) replication; ``metrics show`` tabulates such streams and
+``metrics export`` renders the latest snapshot in the Prometheus text
+exposition format (self-validated before printing).  ``bench
+--compare OLD.json`` re-measures the named benchmark gates and exits
+non-zero if any slowed past ``--tolerance`` versus the committed
+baseline (:mod:`repro.experiments.benchcmp`).
 
 ``campaign {run,status,report}`` drives declarative scenario-grid
 campaigns (:mod:`repro.campaigns`): ``run`` executes/resumes a spec
@@ -101,10 +114,20 @@ def _trace_config(args: argparse.Namespace) -> Optional[TraceConfig]:
     return TraceConfig(sink="jsonl", path=args.trace, events=events)
 
 
+def _metrics_config(args: argparse.Namespace):
+    """Build the run subcommand's MetricsConfig (None = metrics off)."""
+    if not getattr(args, "metrics", None):
+        return None
+    from ..obs.metrics import MetricsConfig
+
+    return MetricsConfig(path=args.metrics)
+
+
 def _build(experiment: str, args: argparse.Namespace) -> "figures.FigureData":
     seeds = _parse_seeds(args.seeds)
     quick = args.quick
     trace = _trace_config(args)
+    metrics = _metrics_config(args)
     if experiment == "table2":
         return figures.table2_data()
     if experiment == "fig3":
@@ -120,10 +143,12 @@ def _build(experiment: str, args: argparse.Namespace) -> "figures.FigureData":
             workers=args.workers,
             trace=trace,
             backend=args.backend,
+            metrics=metrics,
         )
     if experiment == "fig6":
         return figures.fig6_data(
-            seeds=seeds, workers=args.workers, trace=trace, backend=args.backend
+            seeds=seeds, workers=args.workers, trace=trace, backend=args.backend,
+            metrics=metrics,
         )
     if experiment == "fig5-fluid":
         return figures.fig5_fluid_fullscale()
@@ -221,6 +246,82 @@ def _trace_command(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _metrics_command(args: argparse.Namespace) -> int:
+    """The ``metrics {show,export}`` handler.
+
+    ``show`` tabulates one or more ``metrics.snapshot`` JSONL streams
+    (every line schema-validated on load); ``export`` renders the last
+    snapshot of one stream as Prometheus text — parsed back through
+    :func:`~repro.obs.exporters.parse_prometheus_text` before printing,
+    so malformed expositions can never be emitted.
+    """
+    from ..obs.exporters import (
+        load_snapshots,
+        parse_prometheus_text,
+        snapshot_to_prometheus,
+    )
+
+    files = _trace_files(Path(args.path))
+    if args.metrics_command == "export" and len(files) != 1:
+        raise SystemExit(
+            f"metrics export needs exactly one stream, got {len(files)}; "
+            "pass a single .jsonl file"
+        )
+    failures = 0
+    for stream in files:
+        try:
+            snapshots = load_snapshots(stream)
+        except TraceSchemaError as exc:
+            print(f"invalid snapshot stream: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        if not snapshots:
+            print(f"== {stream} ==\n  empty stream")
+            continue
+        if args.metrics_command == "export":
+            if args.format == "jsonl":
+                text = "".join(
+                    json.dumps(s, sort_keys=True) + "\n" for s in snapshots
+                )
+            else:
+                text = snapshot_to_prometheus(snapshots[-1])
+                parse_prometheus_text(text)  # self-check before emitting
+            if args.out:
+                out_path = Path(args.out)
+                out_path.parent.mkdir(parents=True, exist_ok=True)
+                out_path.write_text(text)
+                print(f"wrote {out_path}")
+            else:
+                print(text, end="")
+            continue
+        rows = [
+            [
+                f"{s['t']:.0f}",
+                s["fleet"],
+                s["accepted"],
+                s["rejected"],
+                s["completed"],
+                s["violations"],
+                f"{s['rejection_rate']:.2%}",
+                f"{s['violation_fraction']:.2%}",
+                f"{s['burn_rate']:.2f}",
+                f"{s['p95']:.3f}",
+            ]
+            for s in snapshots
+        ]
+        print(
+            format_table(
+                ["t", "fleet", "acc", "rej", "done", "viol",
+                 "rej%", "viol%", "burn", "p95<="],
+                rows,
+                title=f"metrics: {stream.name} ({len(snapshots)} snapshot(s), "
+                f"Ts={snapshots[-1]['qos_target']}s)",
+            )
+        )
+        print()
+    return 1 if failures else 0
+
+
 def _write_outputs(data: "figures.FigureData", out_dir: Path) -> None:
     out_dir.mkdir(parents=True, exist_ok=True)
     md = out_dir / f"{data.experiment_id}.md"
@@ -235,7 +336,7 @@ def _write_outputs(data: "figures.FigureData", out_dir: Path) -> None:
 
 
 def _campaign_command(args: argparse.Namespace) -> int:
-    """The ``campaign {run,status,report}`` handler.
+    """The ``campaign {run,watch,status,report}`` handler.
 
     :mod:`repro.campaigns` is imported *here*, not at module level: the
     campaign engine sits above the experiments layer and nothing in the
@@ -255,6 +356,18 @@ def _campaign_command(args: argparse.Namespace) -> int:
         raise SystemExit(f"bad campaign spec: {exc}")
     store = ResultStore(spec.store_path(args.store))
 
+    if args.campaign_command == "watch":
+        from ..campaigns import watch
+
+        watch(
+            spec,
+            store=store,
+            quick=args.quick,
+            follow=args.follow,
+            interval=args.interval,
+        )
+        return 0
+
     if args.campaign_command == "run":
         trace = None
         if args.trace:
@@ -263,6 +376,13 @@ def _campaign_command(args: argparse.Namespace) -> int:
                 path=args.trace,
                 events=tuple(sorted(CONTROL_EVENTS)),
             )
+        metrics = None
+        if args.metrics:
+            from ..obs.metrics import MetricsConfig
+
+            # Path defaults to <store>/telemetry/ inside run_campaign,
+            # which is where `campaign watch` looks for live streams.
+            metrics = MetricsConfig()
         try:
             result = run_campaign(
                 spec,
@@ -270,6 +390,7 @@ def _campaign_command(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 quick=args.quick,
                 trace=trace,
+                metrics=metrics,
                 max_cells=args.max_cells,
                 progress=print,
             )
@@ -413,6 +534,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also trace per-request events (admitted/rejected/completed); "
         "default traces control-plane events only",
     )
+    runp.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write one metrics.snapshot JSONL stream per replication (a "
+        "directory, or a path with {scenario}/{policy}/{seed} placeholders); "
+        "applies to the fig5/fig6 policy comparisons",
+    )
     tracep = sub.add_parser("trace", help="render/validate a JSONL trace")
     tracep.add_argument("path", help="a .jsonl trace file, or a directory of them")
     tracep.add_argument(
@@ -444,6 +573,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     benchp.add_argument("--quick", action="store_true", help="smaller iteration counts for CI smoke runs")
     benchp.add_argument("--out", default=None, help="write the JSON report to this file as well")
+    benchp.add_argument(
+        "--compare",
+        default=None,
+        metavar="OLD.json",
+        help="regression mode: re-measure the named gates and diff against "
+        "this committed baseline (exit 1 on regression); --quick skips the "
+        "multi-second end-to-end gates",
+    )
+    benchp.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="slowdown ratio a gate may reach before failing --compare "
+        "(default 3.0 — generous, to ride out cross-host jitter)",
+    )
+
+    metricsp = sub.add_parser(
+        "metrics", help="tabulate/export metrics.snapshot JSONL streams"
+    )
+    metricssub = metricsp.add_subparsers(dest="metrics_command", required=True)
+    showp = metricssub.add_parser(
+        "show", help="tabulate snapshot streams (schema-validated on load)"
+    )
+    showp.add_argument("path", help="a snapshot .jsonl file, or a directory of them")
+    exportp = metricssub.add_parser(
+        "export", help="render the latest snapshot as Prometheus text"
+    )
+    exportp.add_argument("path", help="one snapshot .jsonl stream")
+    exportp.add_argument(
+        "--format", choices=("prometheus", "jsonl"), default="prometheus",
+        help="prometheus renders the latest snapshot as text exposition; "
+        "jsonl re-emits the validated snapshot series (default: prometheus)",
+    )
+    exportp.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the exposition to this file instead of stdout",
+    )
 
     lintp = sub.add_parser(
         "lint",
@@ -492,6 +658,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     campsub = campp.add_subparsers(dest="campaign_command", required=True)
     for name, chelp in (
         ("run", "execute (or resume) a campaign spec against its result store"),
+        ("watch", "live per-cell progress table (snapshot streams + store)"),
         ("status", "per-cell cache status of a campaign"),
         ("report", "aggregate stored cells into the paper-style summary table"),
     ):
@@ -529,6 +696,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 metavar="PATH",
                 help="write campaign.cell.* lifecycle events to a JSONL trace",
             )
+            cp.add_argument(
+                "--metrics",
+                action="store_true",
+                help="write one metrics.snapshot JSONL stream per cell under "
+                "<store>/telemetry/ (what `campaign watch` reads live)",
+            )
+        if name == "watch":
+            cp.add_argument(
+                "--follow",
+                action="store_true",
+                help="re-render until every cell is finished (default: once)",
+            )
+            cp.add_argument(
+                "--interval",
+                type=float,
+                default=2.0,
+                help="seconds between refreshes with --follow (default 2)",
+            )
         if name == "status":
             cp.add_argument(
                 "--require-complete",
@@ -560,7 +745,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "trace":
         return _trace_command(args)
 
+    if args.command == "metrics":
+        return _metrics_command(args)
+
     if args.command == "bench":
+        if args.compare:
+            from .benchcmp import compare_to_baseline, format_comparison
+
+            baseline_path = Path(args.compare)
+            if not baseline_path.is_file():
+                raise SystemExit(f"baseline not found: {baseline_path}")
+            baseline = json.loads(baseline_path.read_text())
+            results = compare_to_baseline(
+                baseline, tolerance=args.tolerance, quick=args.quick
+            )
+            print(format_comparison(results))
+            return 1 if any(r.regressed for r in results) else 0
+
         from .bench import kernel_bench
 
         report = kernel_bench(events=args.events, workers=args.workers, quick=args.quick)

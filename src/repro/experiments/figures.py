@@ -246,6 +246,7 @@ def policy_comparison(
     workers: int = 1,
     trace: Optional[object] = None,
     backend: object = "des",
+    metrics: Optional[object] = None,
 ) -> FigureData:
     """Run every policy over every seed and build the four-panel table.
 
@@ -259,7 +260,10 @@ def policy_comparison(
     run writes its own JSONL file.  ``backend`` selects the execution
     backend (``"des"``, ``"fluid"``, or an
     :class:`~repro.backends.base.ExecutionBackend` instance) for every
-    replication.
+    replication.  ``metrics`` (``None`` or a
+    :class:`~repro.obs.metrics.MetricsConfig`) is likewise forwarded —
+    with a path set, each (policy, seed) run writes its own
+    ``metrics.snapshot`` JSONL stream.
     """
     headers = [
         "policy",
@@ -276,7 +280,8 @@ def policy_comparison(
     all_results: Dict[str, List[RunResult]] = {}
     for factory in policies:
         results = run_replications(
-            scenario, factory, seeds=seeds, workers=workers, trace=trace, backend=backend
+            scenario, factory, seeds=seeds, workers=workers, trace=trace,
+            backend=backend, metrics=metrics,
         )
         name = results[0].policy
         all_results[name] = results
@@ -309,6 +314,7 @@ def fig5_data(
     workers: int = 1,
     trace: Optional[object] = None,
     backend: object = "des",
+    metrics: Optional[object] = None,
 ) -> FigureData:
     """Figure 5 — web scenario, Adaptive vs Static-{50..150}.
 
@@ -327,6 +333,7 @@ def fig5_data(
         workers=workers,
         trace=trace,
         backend=backend,
+        metrics=metrics,
     )
     return data
 
@@ -338,6 +345,7 @@ def fig6_data(
     workers: int = 1,
     trace: Optional[object] = None,
     backend: object = "des",
+    metrics: Optional[object] = None,
 ) -> FigureData:
     """Figure 6 — scientific scenario at full paper scale, one day."""
     scenario = scientific_scenario(horizon=horizon)
@@ -355,6 +363,7 @@ def fig6_data(
         workers=workers,
         trace=trace,
         backend=backend,
+        metrics=metrics,
     )
 
 

@@ -7,11 +7,13 @@ module gives :func:`~repro.experiments.runner.run_replications` that
 backend:
 
 * work items are picklable ``(scenario, policy_spec, seed, trace,
-  backend)`` tuples — :class:`PolicySpec` is the picklable stand-in for
-  the ad-hoc lambda factories used in scripts, ``trace`` is ``None`` or
-  a :class:`~repro.obs.bus.TraceConfig` (a live bus cannot cross the
-  process boundary), and ``backend`` is a spec string or picklable
-  :class:`~repro.backends.base.ExecutionBackend`;
+  backend, metrics)`` tuples — :class:`PolicySpec` is the picklable
+  stand-in for the ad-hoc lambda factories used in scripts, ``trace``
+  is ``None`` or a :class:`~repro.obs.bus.TraceConfig` (a live bus
+  cannot cross the process boundary), ``backend`` is a spec string or
+  picklable :class:`~repro.backends.base.ExecutionBackend`, and
+  ``metrics`` is ``None`` or a
+  :class:`~repro.obs.metrics.MetricsConfig`;
 * dispatch is chunked (``chunk_size`` seeds per pickle round-trip) and
   results come back **in seed order**;
 * replications use the exact same per-seed spawned random streams as
@@ -98,14 +100,16 @@ def _run_task(
         int,
         Optional[TraceConfig],
         Any,
+        Any,
     ]
 ):
     """Process-pool entry point: one replication from a picklable tuple."""
-    scenario, policy_factory, seed, trace, backend = task
+    scenario, policy_factory, seed, trace, backend, metrics = task
     from .runner import run_policy
 
     return run_policy(
-        scenario, policy_factory(), seed=seed, trace=trace, backend=backend
+        scenario, policy_factory(), seed=seed, trace=trace, backend=backend,
+        metrics=metrics,
     )
 
 
@@ -115,11 +119,15 @@ def _sequential(
     seeds: Sequence[int],
     trace: Optional[Any] = None,
     backend: Any = "des",
+    metrics: Optional[Any] = None,
 ) -> List[Any]:
     from .runner import run_policy
 
     return [
-        run_policy(scenario, policy_factory(), seed=s, trace=trace, backend=backend)
+        run_policy(
+            scenario, policy_factory(), seed=s, trace=trace, backend=backend,
+            metrics=metrics,
+        )
         for s in seeds
     ]
 
@@ -132,6 +140,7 @@ def run_replications_parallel(
     chunk_size: Optional[int] = None,
     trace: Optional[Any] = None,
     backend: Any = "des",
+    metrics: Optional[Any] = None,
 ) -> List[Any]:
     """Run one replication per seed on a process pool.
 
@@ -159,6 +168,12 @@ def run_replications_parallel(
         Execution backend per replication — ``"des"`` (default),
         ``"fluid"``, or a picklable
         :class:`~repro.backends.base.ExecutionBackend` instance.
+    metrics:
+        ``None`` or a picklable :class:`~repro.obs.metrics.MetricsConfig`.
+        Each worker builds its own registry; the finalized dumps travel
+        home inside each pickled result's ``telemetry`` field, where
+        :func:`repro.obs.metrics.merge_telemetry` combines them
+        losslessly (counters add, histograms Chan-merge).
 
     Returns
     -------
@@ -172,8 +187,14 @@ def run_replications_parallel(
         workers = default_workers()
     n_workers = min(int(workers), len(seeds)) if seeds else 1
     if n_workers <= 1:
-        return _sequential(scenario, policy_factory, seeds, trace=trace, backend=backend)
-    tasks = [(scenario, policy_factory, int(seed), trace, backend) for seed in seeds]
+        return _sequential(
+            scenario, policy_factory, seeds, trace=trace, backend=backend,
+            metrics=metrics,
+        )
+    tasks = [
+        (scenario, policy_factory, int(seed), trace, backend, metrics)
+        for seed in seeds
+    ]
     try:
         pickle.dumps(tasks[0])
     except Exception as exc:  # noqa: BLE001 - any pickling failure falls back
@@ -187,7 +208,10 @@ def run_replications_parallel(
                 error=repr(exc),
             ),
         )
-        return _sequential(scenario, policy_factory, seeds, trace=trace, backend=backend)
+        return _sequential(
+            scenario, policy_factory, seeds, trace=trace, backend=backend,
+            metrics=metrics,
+        )
     if chunk_size is None:
         chunk_size = max(1, len(tasks) // n_workers)
     try:
@@ -208,4 +232,7 @@ def run_replications_parallel(
                 error=repr(exc),
             ),
         )
-        return _sequential(scenario, policy_factory, seeds, trace=trace, backend=backend)
+        return _sequential(
+            scenario, policy_factory, seeds, trace=trace, backend=backend,
+            metrics=metrics,
+        )

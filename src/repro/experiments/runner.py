@@ -39,6 +39,7 @@ def run_policy(
     trace: Optional[Union[TraceConfig, TraceBus]] = None,
     audit: Optional[object] = None,
     backend: Union[str, ExecutionBackend, None] = "des",
+    metrics: Optional[object] = None,
 ) -> RunMetrics:
     """Run one replication of (scenario, policy) and collect metrics.
 
@@ -57,8 +58,19 @@ def run_policy(
     backend:
         ``"des"`` (default), ``"fluid"``, or a ready
         :class:`~repro.backends.base.ExecutionBackend` instance.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsConfig`; the run's
+        finalized telemetry (registry + ``metrics.snapshot`` series)
+        lands in ``RunMetrics.telemetry``.  Only forwarded when set, so
+        backend doubles without the parameter keep working.
     """
-    return resolve_backend(backend).run(
+    be = resolve_backend(backend)
+    if metrics is not None:
+        return be.run(
+            scenario, policy, seed=seed, balancer=balancer, trace=trace,
+            audit=audit, metrics=metrics,
+        )
+    return be.run(
         scenario, policy, seed=seed, balancer=balancer, trace=trace, audit=audit
     )
 
@@ -71,6 +83,7 @@ def run_replications(
     chunk_size: Optional[int] = None,
     trace: Optional[Union[TraceConfig, TraceBus]] = None,
     backend: Union[str, ExecutionBackend, None] = "des",
+    metrics: Optional[object] = None,
 ) -> List[RunMetrics]:
     """Run several replications with independent seeds.
 
@@ -101,6 +114,11 @@ def run_replications(
     backend:
         Execution backend for every replication — a spec string or a
         (picklable, for the parallel path) backend instance.
+    metrics:
+        Optional picklable :class:`~repro.obs.metrics.MetricsConfig`
+        forwarded to every replication; per-worker registries come back
+        inside each result's ``telemetry`` field and combine losslessly
+        with :func:`repro.obs.metrics.merge_telemetry`.
     """
     if workers is not None and workers > 1:
         from .parallel import run_replications_parallel
@@ -113,8 +131,12 @@ def run_replications(
             chunk_size=chunk_size,
             trace=trace,
             backend=backend,
+            metrics=metrics,
         )
     return [
-        run_policy(scenario, policy_factory(), seed=s, trace=trace, backend=backend)
+        run_policy(
+            scenario, policy_factory(), seed=s, trace=trace, backend=backend,
+            metrics=metrics,
+        )
         for s in seeds
     ]

@@ -22,7 +22,8 @@ Banned in any ``repro.*`` module outside the whitelist:
 * ambient entropy: ``os.urandom``, ``uuid.uuid1``/``uuid4``.
 
 Whitelisted modules: ``repro.sim.rng`` (the entropy root),
-``repro.obs.profile`` (the sanctioned clock), ``repro.experiments.bench``
+``repro.obs.profile`` (the sanctioned clock), and
+``repro.experiments.bench`` / ``repro.experiments.benchcmp``
 (benchmarks exist to read the clock).
 """
 
@@ -39,7 +40,12 @@ __all__ = ["DeterminismRule", "WHITELIST"]
 
 #: Modules allowed to touch clocks / raw entropy directly.
 WHITELIST = frozenset(
-    {"repro.sim.rng", "repro.obs.profile", "repro.experiments.bench"}
+    {
+        "repro.sim.rng",
+        "repro.obs.profile",
+        "repro.experiments.bench",
+        "repro.experiments.benchcmp",
+    }
 )
 
 _RNG_HINT = (

@@ -25,6 +25,18 @@ among the scanned modules (i.e. the scan covers the library source) —
 linting ``tests/`` alone must not report the whole registry as dead.
 Call sites in non-``repro`` modules (tests emit synthetic events on
 purpose) are ignored.
+
+The same contract holds for *metrics*: every instrument name passed to
+``registry.counter("...")`` / ``gauge`` / ``histogram`` must be
+declared in :data:`repro.obs.metrics.METRIC_NAMES` (undeclared names
+raise :class:`~repro.errors.ConfigurationError` the first time a
+metrics-enabled run builds its registry), and every declared name must
+have at least one literal creation site in the library — a declared
+metric nobody creates is dead documentation.  Only literal-string
+first arguments count as creation sites, which keeps unrelated callees
+(``np.histogram(data, bins)``, ``collections.Counter(seq)``) out of
+scope; the never-created direction, like dead-schema, only runs when
+the scan covers ``repro.obs.metrics`` itself.
 """
 
 from __future__ import annotations
@@ -32,6 +44,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from ...obs.metrics import METRIC_NAMES
 from ...obs.schema import EVENT_TYPES
 from ..astutil import literal_strings, walk_with_function
 from ..findings import Finding
@@ -42,6 +55,10 @@ __all__ = ["TraceSchemaRule"]
 #: The bus module defines ``emit`` — its body is not a call site.
 _BUS_MODULE = "repro.obs.bus"
 _SCHEMA_MODULE = "repro.obs.schema"
+_METRICS_MODULE = "repro.obs.metrics"
+
+#: Registry factory methods whose literal first argument is a metric name.
+_INSTRUMENT_FACTORIES = ("counter", "gauge", "histogram")
 
 _REGISTER_HINT = (
     "register the event (with its required payload fields) in "
@@ -55,6 +72,15 @@ _LITERAL_HINT = (
 _DEAD_HINT = (
     "emit the event somewhere, or delete its registry entry (and its "
     "docs) if the instrumentation was removed"
+)
+_METRIC_DECLARE_HINT = (
+    "declare the metric (name, kind, help) in "
+    "repro.obs.metrics.METRIC_NAMES"
+)
+_METRIC_DEAD_HINT = (
+    "create the instrument at some call site, or delete its "
+    "METRIC_NAMES entry (and its docs) if the instrumentation was "
+    "removed"
 )
 
 
@@ -78,7 +104,10 @@ class TraceSchemaRule(Rule):
     name = "trace-schema"
     description = (
         "every emitted trace event name is registered in "
-        "repro.obs.schema, and every registered event is emitted"
+        "repro.obs.schema (and every registered event is emitted); "
+        "every created metric name is declared in "
+        "repro.obs.metrics.METRIC_NAMES (and every declared metric is "
+        "created)"
     )
 
     def __init__(self) -> None:
@@ -203,6 +232,58 @@ class TraceSchemaRule(Rule):
                         )
 
         yield from findings
+
+        # Metric-name cross-check: literal instrument-factory call
+        # sites (registry.counter/gauge/histogram) vs METRIC_NAMES.
+        #: metric name → first (path, line) that creates it
+        created: Dict[str, Tuple[str, int]] = {}
+        for ctx in self._modules:
+            for node, _func in walk_with_function(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _callee_name(node) not in _INSTRUMENT_FACTORIES:
+                    continue
+                if not node.args:
+                    continue
+                names = literal_strings(node.args[0])
+                if names is None:
+                    # Dynamic first arguments are out of scope on
+                    # purpose: they are how unrelated callees look
+                    # (np.histogram(data, bins), Counter(seq)).
+                    continue
+                for name in names:
+                    created.setdefault(name, (ctx.rel, node.lineno))
+                    if name not in METRIC_NAMES:
+                        yield Finding(
+                            path=ctx.rel,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            rule=self.name,
+                            message=(
+                                f"creation of undeclared metric {name!r} "
+                                "(would raise ConfigurationError when the "
+                                "registry builds it)"
+                            ),
+                            hint=_METRIC_DECLARE_HINT,
+                        )
+        metrics_ctx = next(
+            (c for c in self._modules if c.module == _METRICS_MODULE), None
+        )
+        if metrics_ctx is not None:
+            for metric in METRIC_NAMES:
+                if metric in created:
+                    continue
+                yield Finding(
+                    path=metrics_ctx.rel,
+                    line=self._registry_line(metrics_ctx, metric),
+                    col=0,
+                    rule=self.name,
+                    message=(
+                        f"declared metric {metric!r} is never created "
+                        "by any library module"
+                    ),
+                    hint=_METRIC_DEAD_HINT,
+                )
 
         # Dead-schema direction — only when the scan covered the
         # registry module itself.

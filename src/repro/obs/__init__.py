@@ -19,11 +19,35 @@ every emission with one identity check.
 * :mod:`repro.obs.render` — JSONL traces → timeline + summary tables
   (the ``repro-experiments trace`` subcommand).
 * :mod:`repro.obs.log` — namespaced structured logging helpers.
+* :mod:`repro.obs.metrics` — the typed metrics registry (counters,
+  gauges, mergeable log-bucket histograms), the picklable
+  :class:`MetricsConfig`, and the per-run :class:`RunTelemetry`
+  snapshot sampler (ISSUE 7's tentpole).
+* :mod:`repro.obs.exporters` — Prometheus text exposition and JSONL
+  time-series export/validation for the snapshot stream.
 """
 
 from .audit import DecisionAuditLog, DecisionRecord, explain_record
 from .bus import JsonlSink, NullSink, RingBufferSink, TraceBus, TraceConfig, TraceSink
+from .exporters import (
+    export_jsonl,
+    load_snapshots,
+    parse_prometheus_text,
+    snapshot_to_prometheus,
+)
 from .log import get_logger, kv
+from .metrics import (
+    METRIC_NAMES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsConfig,
+    MetricsRegistry,
+    RunTelemetry,
+    log_bucket_bounds,
+    merge_telemetry,
+    response_time_bounds,
+)
 from .profile import RunProfile, aggregate_profiles
 from .render import explain_decision, format_event, render_timeline, trace_summary_table
 from .schema import (
@@ -66,6 +90,22 @@ __all__ = [
     "render_timeline",
     "trace_summary_table",
     "explain_decision",
+    # metrics
+    "METRIC_NAMES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsConfig",
+    "RunTelemetry",
+    "log_bucket_bounds",
+    "response_time_bounds",
+    "merge_telemetry",
+    # exporters
+    "snapshot_to_prometheus",
+    "parse_prometheus_text",
+    "load_snapshots",
+    "export_jsonl",
     # logging
     "get_logger",
     "kv",

@@ -45,13 +45,28 @@ __all__ = [
 
 
 class TraceSink:
-    """Interface of a trace destination (duck-typed; subclassing optional)."""
+    """Interface of a trace destination (duck-typed; subclassing optional).
+
+    Sinks are context managers: ``with JsonlSink(path) as sink: ...``
+    guarantees :meth:`close` (and thus the final buffer flush) even
+    when the block raises or a :class:`KeyboardInterrupt` lands —
+    buffered tail events cannot be lost on an interrupt path.
+    """
 
     def write(self, event: dict) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def flush(self) -> None:
+        """Push buffered events to the destination (no-op by default)."""
+
     def close(self) -> None:
         """Release resources; further writes are undefined."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 class NullSink(TraceSink):
@@ -95,6 +110,10 @@ class JsonlSink(TraceSink):
     def write(self, event: dict) -> None:
         self._fh.write(json.dumps(event, separators=(",", ":")) + "\n")
         self.written += 1
+
+    def flush(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
 
     def close(self) -> None:
         if not self._fh.closed:
@@ -144,9 +163,26 @@ class TraceBus:
         self.emitted += 1
         self.sink.write(event)
 
+    def flush(self) -> None:
+        """Flush the sink without closing it.
+
+        The interrupt-path guarantee for *borrowed* buses: owners close,
+        borrowers flush, so a campaign killed mid-run leaves every event
+        it emitted on disk either way.
+        """
+        flush = getattr(self.sink, "flush", None)
+        if flush is not None:
+            flush()
+
     def close(self) -> None:
         """Close the underlying sink (flushes JSONL files)."""
         self.sink.close()
+
+    def __enter__(self) -> "TraceBus":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<TraceBus emitted={self.emitted} dropped={self.dropped} sink={type(self.sink).__name__}>"

@@ -32,7 +32,29 @@ _FIELD_ORDER = {
     "decision": ("arrival_rate", "service_time", "current", "chosen", "cache_hit", "path"),
     "scaling.actuated": ("before", "target", "after", "predicted_rate"),
     "prediction.issued": ("rate", "corrective", "window_start", "window_end"),
+    "metrics.snapshot": ("fleet", "completed", "rejected", "violation_fraction", "burn_rate", "p95"),
 }
+
+
+def _format_span(event: Mapping[str, object]) -> str:
+    """Dedicated ``batch.span`` row: span width, station count, and the
+    requests the vectorized data plane flushed through it."""
+    width = event.get("width")
+    stations = event.get("stations")
+    arrivals = int(event.get("arrivals", 0))
+    completions = int(event.get("completions", 0))
+    rejected = int(event.get("rejected", 0))
+    flushed = arrivals + completions
+    parts = []
+    if width is not None:
+        parts.append(f"Δ{float(width):.6g}s")
+    if stations is not None:
+        parts.append(f"{int(stations)} station(s)")
+    parts.append(
+        f"flushed {flushed} ({arrivals} arrivals, {completions} completions"
+        + (f", {rejected} rejected)" if rejected else ")")
+    )
+    return "  ".join(parts)
 
 
 def _fmt_value(value: object) -> str:
@@ -49,9 +71,12 @@ def format_event(event: Mapping[str, object]) -> str:
     """One timeline line: ``[t] type  k=v k=v …``."""
     etype = str(event.get("type", "?"))
     t = event.get("t", float("nan"))
+    if etype == "batch.span":
+        return f"[{float(t):>12.3f}] {etype:<18s} {_format_span(event)}".rstrip()
     ordered = _FIELD_ORDER.get(etype, ())
+    hidden = ("t", "type", "bounds", "buckets") if etype == "metrics.snapshot" else ("t", "type")
     keys = [k for k in ordered if k in event]
-    keys += [k for k in event if k not in ("t", "type") and k not in keys]
+    keys += [k for k in event if k not in hidden and k not in keys]
     payload = "  ".join(f"{k}={_fmt_value(event[k])}" for k in keys)
     return f"[{float(t):>12.3f}] {etype:<18s} {payload}".rstrip()
 

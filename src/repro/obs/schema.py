@@ -36,7 +36,7 @@ __all__ = [
 ]
 
 #: Bumped whenever a required field is added/renamed.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _FLOAT = (float, int)  # JSON numbers; ints are acceptable floats
 
@@ -92,8 +92,42 @@ EVENT_TYPES: Dict[str, Dict[str, tuple]] = {
     "engine.compacted": {"removed": (int,), "remaining": (int,)},
     # vectorized backend: one summary per non-empty epoch span (the
     # arrivals/completions the array data plane absorbed since the
-    # previous engine event)
-    "batch.span": {"arrivals": (int,), "completions": (int,), "rejected": (int,)},
+    # previous engine event); ``stations`` is the active fleet size at
+    # the flush and ``width`` the span's extent in simulation seconds
+    "batch.span": {
+        "arrivals": (int,),
+        "completions": (int,),
+        "rejected": (int,),
+        "stations": (int,),
+        "width": _FLOAT,
+    },
+    # periodic QoS telemetry (repro.obs.metrics.RunTelemetry): counters
+    # are floats because the fluid backend reports *expected* flows;
+    # ``buckets`` holds the cumulative response-time histogram counts
+    # for the ``bounds`` upper edges plus one overflow entry
+    "metrics.snapshot": {
+        "interval": _FLOAT,
+        "qos_target": _FLOAT,
+        "total": _FLOAT,
+        "accepted": _FLOAT,
+        "rejected": _FLOAT,
+        "completed": _FLOAT,
+        "violations": _FLOAT,
+        "fleet": (int,),
+        "rejection_rate": _FLOAT,
+        "violation_fraction": _FLOAT,
+        "window_completed": _FLOAT,
+        "window_violations": _FLOAT,
+        "burn_rate": _FLOAT,
+        "cache_hits": (int,),
+        "cache_misses": (int,),
+        "cache_hit_ratio": _FLOAT,
+        "p50": _FLOAT,
+        "p95": _FLOAT,
+        "p99": _FLOAT,
+        "bounds": (list,),
+        "buckets": (list,),
+    },
     # fluid backend: one event per constant-fleet integration segment
     "fluid.interval": {
         "duration": _FLOAT,

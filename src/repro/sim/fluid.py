@@ -175,7 +175,11 @@ class FluidSimulator:
 
     # ------------------------------------------------------------------
     def run_static(
-        self, instances: int, horizon: float, tracer: Optional[object] = None
+        self,
+        instances: int,
+        horizon: float,
+        tracer: Optional[object] = None,
+        telemetry: Optional[object] = None,
     ) -> FluidAggregates:
         """Evaluate a Static-N policy over ``[0, horizon)``."""
         if instances < 1:
@@ -188,6 +192,7 @@ class FluidSimulator:
             m_series,
             horizon,
             tracer=tracer,
+            telemetry=telemetry,
         )
 
     def run_adaptive(
@@ -195,6 +200,7 @@ class FluidSimulator:
         control,
         horizon: float,
         tracer: Optional[object] = None,
+        telemetry: Optional[object] = None,
     ) -> FluidAggregates:
         """Evaluate a self-driving control plane over ``[0, horizon)``.
 
@@ -219,7 +225,9 @@ class FluidSimulator:
         change_values = np.array([max(1, v) for _, v in m_changes], dtype=np.int64)
         idx = np.clip(np.searchsorted(change_times, times, side="right") - 1, 0, None)
         m_grid = change_values[idx]
-        return self._integrate(times, m_grid, m_changes, horizon, tracer=tracer)
+        return self._integrate(
+            times, m_grid, m_changes, horizon, tracer=tracer, telemetry=telemetry
+        )
 
     # ------------------------------------------------------------------
     def _integrate(
@@ -229,6 +237,7 @@ class FluidSimulator:
         m_series: List[Tuple[float, int]],
         horizon: float,
         tracer: Optional[object] = None,
+        telemetry: Optional[object] = None,
     ) -> FluidAggregates:
         lam = np.atleast_1d(np.asarray(self.workload.mean_rate(times), dtype=np.float64))
         dt = self.dt
@@ -247,6 +256,10 @@ class FluidSimulator:
         vm_hours = vm_seconds / 3600.0
         if tracer is not None and times.size:
             self._emit_intervals(tracer, times, m_grid, lam, blocking)
+        if telemetry is not None:
+            # Grid-driven metrics.snapshot series (expected flows; see
+            # RunTelemetry.sample_grid for the fluid conventions).
+            telemetry.sample_grid(times, dt, lam, blocking, m_grid, horizon)
         return FluidAggregates(
             total_requests=total,
             accepted=accepted,

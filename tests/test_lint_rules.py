@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from lint_support import by_rule, lint_tree
 
+from repro.obs.metrics import METRIC_NAMES
 from repro.obs.schema import EVENT_TYPES
 
 # ---------------------------------------------------------------------------
@@ -344,6 +345,96 @@ def test_trace_schema_never_emitted_needs_schema_in_scan(tmp_path):
     )
     # Without repro.obs.schema among the scanned files the registry is
     # out of scope — no dead-schema noise when linting a subtree.
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# trace-schema: metric-name cross-check (against the LIVE METRIC_NAMES)
+# ---------------------------------------------------------------------------
+
+# Two genuinely declared metric names, read live so these fixtures can
+# never drift out of date.
+_DECLARED_METRICS = sorted(METRIC_NAMES)[:2]
+
+#: a stub metrics module: its presence in the scan enables the
+#: never-created direction; the real METRIC_NAMES is still imported live.
+_METRICS_STUB = "METRIC_NAMES = {}\n"
+
+
+def test_trace_schema_fires_on_undeclared_metric(tmp_path):
+    result = lint_tree(
+        tmp_path,
+        {
+            "repro/cloud/instrumented.py": """
+                def wire(registry):
+                    return registry.counter("totally.undeclared.metric")
+            """
+        },
+        rules=["trace-schema"],
+    )
+    findings = by_rule(result, "trace-schema")
+    assert len(findings) == 1
+    assert "undeclared metric 'totally.undeclared.metric'" in findings[0].message
+
+
+def test_trace_schema_accepts_declared_metrics_and_dynamic_callees(tmp_path):
+    a, b = _DECLARED_METRICS
+    result = lint_tree(
+        tmp_path,
+        {
+            "repro/cloud/instrumented.py": f"""
+                import numpy as np
+                from collections import Counter
+
+                def wire(registry, data, seq):
+                    c = registry.counter({a!r})
+                    g = registry.counter({b!r})
+                    # dynamic first arguments are unrelated callees,
+                    # not metric creation sites:
+                    np.histogram(data, 10)
+                    Counter(seq)
+                    return c, g
+            """
+        },
+        rules=["trace-schema"],
+    )
+    assert result.findings == []
+
+
+def test_trace_schema_reports_never_created_metric(tmp_path):
+    created, other = _DECLARED_METRICS
+    result = lint_tree(
+        tmp_path,
+        {
+            "repro/obs/metrics.py": _METRICS_STUB,
+            "repro/cloud/instrumented.py": f"""
+                def wire(registry):
+                    return registry.counter({created!r})
+            """,
+        },
+        rules=["trace-schema"],
+    )
+    dead = by_rule(result, "trace-schema")
+    flagged = {m.split("'")[1] for m in (f.message for f in dead)}
+    assert flagged == set(METRIC_NAMES) - {created}
+    assert other in flagged
+    assert all(f.path.endswith("repro/obs/metrics.py") for f in dead)
+
+
+def test_trace_schema_never_created_needs_metrics_in_scan(tmp_path):
+    created = _DECLARED_METRICS[0]
+    result = lint_tree(
+        tmp_path,
+        {
+            "repro/cloud/instrumented.py": f"""
+                def wire(registry):
+                    return registry.counter({created!r})
+            """
+        },
+        rules=["trace-schema"],
+    )
+    # Without repro.obs.metrics among the scanned files the declaration
+    # table is out of scope — no dead-metric noise on subtree lints.
     assert result.findings == []
 
 

@@ -1,0 +1,442 @@
+"""Unit + property tests of the typed metrics registry (repro.obs.metrics).
+
+Covers the instrument semantics (counter add, gauge max, histogram
+Chan-merge), the hypothesis-checked merge associativity and
+percentile-bound exactness guarantees, the picklable
+:class:`MetricsConfig`, the Prometheus exposition round-trip, and the
+interrupt-safety contract of the trace sinks (flush/close + context
+managers) the JSONL streams rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs.bus import JsonlSink, RingBufferSink, TraceBus
+from repro.obs.exporters import (
+    export_jsonl,
+    load_snapshots,
+    parse_prometheus_text,
+    snapshot_to_prometheus,
+)
+from repro.obs.metrics import (
+    METRIC_NAMES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsConfig,
+    MetricsRegistry,
+    RunTelemetry,
+    log_bucket_bounds,
+    merge_telemetry,
+    response_time_bounds,
+)
+
+# ---------------------------------------------------------------------------
+# bucket boundaries
+# ---------------------------------------------------------------------------
+
+
+def test_log_bucket_bounds_are_deterministic_and_cover_range():
+    a = log_bucket_bounds(1e-3, 1e2, per_decade=8)
+    b = log_bucket_bounds(1e-3, 1e2, per_decade=8)
+    assert a == b  # pure function — bitwise identical every call
+    assert a[0] == 1e-3
+    assert a[-1] >= 1e2
+    assert all(x < y for x, y in zip(a, a[1:]))
+
+
+def test_log_bucket_bounds_validation():
+    with pytest.raises(ConfigurationError):
+        log_bucket_bounds(0.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        log_bucket_bounds(2.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        log_bucket_bounds(1.0, 2.0, per_decade=0)
+
+
+def test_response_time_bounds_bracket_the_qos_target():
+    ts = 0.25
+    bounds = response_time_bounds(ts)
+    assert bounds[0] == pytest.approx(ts / 1000.0)
+    assert bounds[-1] >= ts * 100.0
+    assert any(abs(b - ts) / ts < 0.01 for b in bounds)  # Ts is ~a boundary
+
+
+# ---------------------------------------------------------------------------
+# counters / gauges
+# ---------------------------------------------------------------------------
+
+
+def test_counter_semantics_and_merge():
+    c = Counter("requests.arrived")
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+    c.set_total(100)
+    other = Counter("requests.arrived")
+    other.inc(11)
+    c.merge(other)
+    assert c.value == 111
+    assert c.to_dict() == {"kind": "counter", "value": 111}
+
+
+def test_gauge_merge_keeps_maximum():
+    g = Gauge("fleet.size")
+    g.set(40)
+    other = Gauge("fleet.size")
+    other.set(25)
+    g.merge(other)
+    assert g.value == 40  # merge is documented as max, not last-wins
+    other.set(90)
+    g.merge(other)
+    assert g.value == 90
+
+
+# ---------------------------------------------------------------------------
+# histogram
+# ---------------------------------------------------------------------------
+
+
+def test_histogram_scalar_and_bulk_bucket_identically():
+    bounds = log_bucket_bounds(1e-2, 1e2)
+    values = np.array([0.005, 0.01, 0.37, 1.0, 42.0, 500.0])
+    scalar = Histogram("qos.response_time", bounds)
+    for v in values.tolist():
+        scalar.observe(v)
+    bulk = Histogram("qos.response_time", bounds)
+    bulk.observe_many(values)
+    assert scalar.counts == bulk.counts
+    assert scalar.count == bulk.count == values.size
+    assert scalar.mean == pytest.approx(bulk.mean)
+    assert scalar.variance == pytest.approx(bulk.variance)
+    # boundary landing: a value exactly on a bound goes to the bucket
+    # above it on both paths (bisect_right == searchsorted side="right")
+    assert scalar.counts[0] == 1  # 0.005 < bounds[0]
+    assert scalar.counts[-1] == 1  # 500 >= bounds[-1] → overflow
+
+
+def test_histogram_rejects_bad_bounds_and_merge_mismatch():
+    with pytest.raises(ConfigurationError):
+        Histogram("qos.response_time", [])
+    with pytest.raises(ConfigurationError):
+        Histogram("qos.response_time", [1.0, 1.0, 2.0])
+    a = Histogram("qos.response_time", [1.0, 2.0])
+    b = Histogram("qos.response_time", [1.0, 3.0])
+    with pytest.raises(ConfigurationError):
+        a.merge(b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    chunks=st.lists(
+        st.lists(
+            st.floats(min_value=1e-4, max_value=1e3, allow_nan=False),
+            max_size=40,
+        ),
+        min_size=2,
+        max_size=5,
+    )
+)
+def test_histogram_merge_is_associative(chunks):
+    """((a+b)+c) == (a+(b+c)) == sequential feed: counts exactly,
+    moments up to float associativity."""
+    bounds = log_bucket_bounds(1e-3, 1e3, per_decade=4)
+
+    def hist_of(values):
+        h = Histogram("qos.response_time", bounds)
+        for v in values:
+            h.observe(v)
+        return h
+
+    left = hist_of([])
+    for chunk in chunks:
+        left.merge(hist_of(chunk))
+
+    right = hist_of([])
+    rest = hist_of([])
+    for chunk in chunks[1:]:
+        rest.merge(hist_of(chunk))
+    right.merge(hist_of(chunks[0]))
+    right.merge(rest)
+
+    flat = hist_of([v for chunk in chunks for v in chunk])
+
+    assert left.counts == right.counts == flat.counts  # exact
+    assert left.count == right.count == flat.count
+    assert left.mean == pytest.approx(right.mean, rel=1e-9, abs=1e-12)
+    assert left.mean == pytest.approx(flat.mean, rel=1e-9, abs=1e-9)
+    assert left.variance == pytest.approx(flat.variance, rel=1e-6, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=1e-4, max_value=1e3, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    ),
+    q=st.sampled_from([0.5, 0.9, 0.95, 0.99, 1.0]),
+)
+def test_percentile_bound_exactly_brackets_the_rank_statistic(values, q):
+    """percentile_bound(q) is an exact bracket of the ⌈q·n⌉-th smallest
+    observation: lower bound ≤ v < upper bound."""
+    bounds = log_bucket_bounds(1e-3, 1e3, per_decade=4)
+    h = Histogram("qos.response_time", bounds)
+    for v in values:
+        h.observe(v)
+    rank = max(1, math.ceil(q * len(values)))
+    v = sorted(values)[rank - 1]
+    upper = h.percentile_bound(q)
+    if math.isinf(upper):
+        assert v >= bounds[-1]
+    else:
+        assert v < upper
+        i = bounds.index(upper)
+        lower = bounds[i - 1] if i > 0 else 0.0
+        assert v >= lower
+
+
+def test_percentile_bound_edges():
+    h = Histogram("qos.response_time", [1.0, 2.0])
+    assert h.percentile_bound(0.95) == 0.0  # empty
+    with pytest.raises(ConfigurationError):
+        h.percentile_bound(0.0)
+    h.observe(10.0)  # overflow bucket
+    assert math.isinf(h.percentile_bound(0.95))
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+def test_registry_rejects_unknown_names_and_kind_mismatch():
+    reg = MetricsRegistry()
+    with pytest.raises(ConfigurationError):
+        reg.counter("not.a.metric")
+    with pytest.raises(ConfigurationError):
+        reg.gauge("requests.arrived")  # declared as a counter
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    c1 = reg.counter("requests.arrived")
+    c2 = reg.counter("requests.arrived")
+    assert c1 is c2
+    assert reg.get("requests.arrived") is c1
+    assert reg.get("requests.rejected") is None
+
+
+def test_registry_roundtrip_and_merge():
+    reg = MetricsRegistry()
+    reg.counter("requests.accepted").inc(7)
+    reg.gauge("fleet.size").set(12)
+    reg.histogram("qos.response_time", bounds=[0.1, 1.0]).observe(0.5)
+
+    clone = MetricsRegistry.from_dict(reg.to_dict())
+    assert clone.to_dict() == reg.to_dict()
+
+    clone.merge(reg)
+    assert clone.get("requests.accepted").value == 14
+    assert clone.get("fleet.size").value == 12
+    assert clone.get("qos.response_time").count == 2
+
+
+def test_merge_telemetry_skips_metrics_off_runs():
+    reg = MetricsRegistry()
+    reg.counter("requests.accepted").inc(3)
+    dump = {"registry": reg.to_dict()}
+    merged = merge_telemetry([{}, dump, {}, dump])
+    assert merged["requests.accepted"]["value"] == 6
+
+
+def test_every_declared_metric_kind_is_buildable():
+    reg = MetricsRegistry()
+    for name, (kind, _help) in METRIC_NAMES.items():
+        instrument = getattr(reg, kind)(name)
+        assert instrument.kind == kind
+
+
+# ---------------------------------------------------------------------------
+# config
+# ---------------------------------------------------------------------------
+
+
+def test_metrics_config_validation():
+    with pytest.raises(ConfigurationError):
+        MetricsConfig(interval=0.0)
+    with pytest.raises(ConfigurationError):
+        MetricsConfig(slo_quantile=1.0)
+    with pytest.raises(ConfigurationError):
+        MetricsConfig(slo_quantile=0.0)
+
+
+def test_metrics_config_is_picklable():
+    cfg = MetricsConfig(interval=600.0, path="tel/", slo_quantile=0.99)
+    clone = pickle.loads(pickle.dumps(cfg))
+    assert clone == cfg
+
+
+def test_metrics_config_resolve_path(tmp_path):
+    cfg = MetricsConfig(path=str(tmp_path) + "/")
+    p = cfg.resolve_path("web@1/5000", "Adaptive", 3)
+    assert p.name == "web@1_5000-Adaptive-s3.jsonl"  # '/' sanitized
+    cfg2 = MetricsConfig(path=str(tmp_path / "{scenario}-{policy}-{seed}.jsonl"))
+    p2 = cfg2.resolve_path("web", "Static-60", 1)
+    assert p2.name == "web-Static-60-1.jsonl"
+
+
+def test_metrics_config_build_centers_histogram_on_qos_target():
+    reg = MetricsConfig().build(0.25)
+    hist = reg.get("qos.response_time")
+    assert hist is not None
+    assert hist.bounds == response_time_bounds(0.25)
+
+
+# ---------------------------------------------------------------------------
+# RunTelemetry snapshots
+# ---------------------------------------------------------------------------
+
+
+class _FakeCollector:
+    def __init__(self):
+        self.completed = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.violations = 0
+
+
+def _telemetry(collector, **kwargs):
+    cfg = MetricsConfig()
+    return RunTelemetry(
+        cfg.build(1.0), cfg, 1.0, interval=100.0, collector=collector, **kwargs
+    )
+
+
+def test_snapshot_fields_are_integer_ratios():
+    m = _FakeCollector()
+    tel = _telemetry(m, fleet_size_fn=lambda: 7)
+    m.accepted, m.rejected, m.completed, m.violations = 90, 10, 80, 8
+    snap = tel.sample(100.0)
+    assert snap["type"] == "metrics.snapshot"
+    assert snap["total"] == 100
+    assert snap["rejection_rate"] == 10 / 100
+    assert snap["violation_fraction"] == 8 / 80
+    assert snap["fleet"] == 7
+    # burn rate: first window = all completions; budget = 1 - 0.95
+    assert snap["burn_rate"] == pytest.approx((8 / 80) / 0.05)
+    # window deltas reset between samples
+    m.completed, m.violations = 160, 8
+    snap2 = tel.sample(200.0)
+    assert snap2["window_completed"] == 80
+    assert snap2["window_violations"] == 0
+    assert snap2["burn_rate"] == 0.0
+
+
+def test_finalize_syncs_registry_and_dumps_history(tmp_path):
+    m = _FakeCollector()
+    tel = _telemetry(m, cache_fn=lambda: (5, 3))
+    m.accepted = m.completed = 10
+    tel.sample(100.0)
+    out = tel.finalize(12, 10, 2, 10, 1, fleet=4, cache_hits=5, cache_misses=3)
+    reg = out["registry"]
+    assert out["version"] == 1
+    assert reg["requests.arrived"]["value"] == 12
+    assert reg["qos.violations"]["value"] == 1
+    assert reg["control.cache_hits"]["value"] == 5
+    assert reg["fleet.size"]["value"] == 4
+    assert len(out["snapshots"]) == 1
+
+    stream = tel.write_jsonl(tmp_path / "tel.jsonl")
+    snapshots = load_snapshots(stream)  # schema-validates every line
+    assert len(snapshots) == 1
+    assert snapshots[0]["cache_hits"] == 5
+
+
+def test_history_false_keeps_no_snapshots():
+    cfg = MetricsConfig(history=False)
+    tel = RunTelemetry(cfg.build(1.0), cfg, 1.0, interval=50.0, collector=_FakeCollector())
+    tel.sample(50.0)
+    assert tel.snapshots == []
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_prometheus_round_trip_validates():
+    m = _FakeCollector()
+    tel = _telemetry(m)
+    hist = tel.registry.get("qos.response_time")
+    for v in (0.01, 0.5, 0.9, 1.5, 200.0):
+        hist.observe(v)
+    m.accepted, m.completed, m.violations = 5, 5, 1
+    snap = tel.sample(100.0)
+
+    text = snapshot_to_prometheus(snap)
+    families = parse_prometheus_text(text)
+    assert families["repro_requests_accepted_total"]["type"] == "counter"
+    hist_fam = families["repro_response_time_scenario_seconds"]
+    buckets = [s for s in hist_fam["samples"] if s[0].endswith("_bucket")]
+    assert buckets[-1][1]["le"] == "+Inf"
+    assert buckets[-1][2] == 5  # +Inf bucket == count
+
+
+def test_prometheus_parser_rejects_non_cumulative_buckets():
+    bad = "\n".join(
+        [
+            "# TYPE h histogram",
+            '# HELP h broken',
+            'h_bucket{le="1"} 5',
+            'h_bucket{le="+Inf"} 3',
+        ]
+    )
+    with pytest.raises(ConfigurationError):
+        parse_prometheus_text(bad)
+
+
+def test_export_jsonl_round_trip(tmp_path):
+    m = _FakeCollector()
+    tel = _telemetry(m)
+    tel.sample(100.0)
+    tel.sample(200.0)
+    out = export_jsonl(tel.snapshots, tmp_path / "series.jsonl")
+    assert [s["t"] for s in load_snapshots(out)] == [100.0, 200.0]
+
+
+# ---------------------------------------------------------------------------
+# sink interrupt-safety (flush/close + context managers)
+# ---------------------------------------------------------------------------
+
+
+def test_jsonl_sink_flush_makes_tail_events_durable(tmp_path):
+    path = tmp_path / "t.jsonl"
+    sink = JsonlSink(path)
+    bus = TraceBus(sink)
+    bus.emit("sim.started", 0.0, scenario="s", policy="p", seed=0, horizon=1.0)
+    bus.flush()  # the interrupt path: flush without close
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["type"] == "sim.started"
+    bus.close()
+
+
+def test_trace_bus_context_manager_closes_sink(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with TraceBus(JsonlSink(path)) as bus:
+        bus.emit("sim.started", 0.0, scenario="s", policy="p", seed=0, horizon=1.0)
+    assert len(path.read_text().strip().splitlines()) == 1
+    # ring-buffer sinks support the same protocol (no-op flush/close)
+    with TraceBus(RingBufferSink()) as bus:
+        bus.emit("sim.started", 0.0, scenario="s", policy="p", seed=0, horizon=1.0)
+        assert bus.emitted == 1
