@@ -191,6 +191,7 @@ class DESBackend:
         else:
             tracer = trace
             owns_bus = False
+        telemetry: Optional[RunTelemetry] = None
         try:
             if tracer is not None:
                 tracer.emit(
@@ -218,6 +219,12 @@ class DESBackend:
                 )
                 if telemetry is not None:
                     telemetry.install(ctx.engine)
+                    if metrics.path and not metrics.history:
+                        # History off + path on: stream each snapshot
+                        # to disk as it is taken.
+                        telemetry.open_stream(
+                            metrics.resolve_path(scenario.name, policy.name, seed)
+                        )
                 ctx.source.start()
             watch = Stopwatch()
             with profile.phase("run"):
@@ -290,5 +297,7 @@ class DESBackend:
                 telemetry=telemetry_dict,
             )
         finally:
+            if telemetry is not None:
+                telemetry.close_stream()
             if owns_bus and tracer is not None:
                 tracer.close()

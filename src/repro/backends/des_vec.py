@@ -168,6 +168,7 @@ class DESVecBackend:
         else:
             tracer = trace
             owns_bus = False
+        telemetry = None
         try:
             if tracer is not None:
                 tracer.emit(
@@ -200,6 +201,12 @@ class DESVecBackend:
                 )
                 if telemetry is not None:
                     telemetry.install(ctx.engine)
+                    if metrics.path and not metrics.history:
+                        # History off + path on: stream each snapshot
+                        # to disk as it is taken.
+                        telemetry.open_stream(
+                            metrics.resolve_path(scenario.name, policy.name, seed)
+                        )
                 ctx.source.start()
             watch = Stopwatch()
             with profile.phase("run"):
@@ -294,5 +301,7 @@ class DESVecBackend:
                 telemetry=telemetry_dict,
             )
         finally:
+            if telemetry is not None:
+                telemetry.close_stream()
             if owns_bus and tracer is not None:
                 tracer.close()

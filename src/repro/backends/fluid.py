@@ -88,6 +88,7 @@ class FluidBackend:
         else:
             tracer = trace
             owns_bus = False
+        telemetry = None
         try:
             if tracer is not None:
                 tracer.emit(
@@ -130,7 +131,6 @@ class FluidBackend:
                         f"the fluid backend cannot execute {type(policy).__name__}; "
                         "supported policies are StaticPolicy and AdaptivePolicy"
                     )
-                telemetry = None
                 if metrics is not None:
                     telemetry = RunTelemetry(
                         registry,
@@ -141,6 +141,12 @@ class FluidBackend:
                         else scenario.update_interval,
                         tracer=tracer,
                     )
+                    if metrics.path and not metrics.history:
+                        # History off + path on: stream each snapshot
+                        # to disk as it is taken.
+                        telemetry.open_stream(
+                            metrics.resolve_path(scenario.name, policy.name, seed)
+                        )
             watch = Stopwatch()
             with profile.phase("run"):
                 if control is not None:
@@ -218,5 +224,7 @@ class FluidBackend:
                 telemetry=telemetry_dict,
             )
         finally:
+            if telemetry is not None:
+                telemetry.close_stream()
             if owns_bus and tracer is not None:
                 tracer.close()

@@ -400,11 +400,16 @@ class VectorFleet:
             return
         draining = self._draining
         soa = self._soa
+        # Graceful-drain completions: the emptied test runs against the
+        # *post-drain* state, so a draining station that completes
+        # several requests within the drain appears in every one of its
+        # waves.  Collapse to one entry per station, keyed on its last
+        # departure (the instant it actually emptied) — waves arrive in
+        # time order, so the dict keeps the latest.
+        drained_at: Dict[int, float] = {}
         for done, dep, arr, svc in waves:
             self._chunks.append((dep, arr, svc))
             if draining:
-                # Graceful-drain completion: a draining station that
-                # emptied is destroyed at its last departure time.
                 dr_mask = np.isin(done, np.array(draining, dtype=np.intp))
                 if dr_mask.any():
                     cand = done[dr_mask]
@@ -412,7 +417,9 @@ class VectorFleet:
                     for idx, t_done in zip(
                         cand[emptied].tolist(), dep[dr_mask][emptied].tolist()
                     ):
-                        self._pending_destroy.append((t_done, idx))
+                        drained_at[idx] = t_done
+        for idx, t_done in drained_at.items():
+            self._pending_destroy.append((t_done, idx))
 
     def _accept_block(self, times: np.ndarray, i: int, j: int) -> None:
         count = j - i

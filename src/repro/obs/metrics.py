@@ -262,7 +262,7 @@ class Histogram:
     def counts(self) -> List[int]:
         """Per-bucket counts (flushes the pending buffer first)."""
         self._flush()
-        return self._counts
+        return list(self._counts)
 
     @property
     def mean(self) -> float:
@@ -486,7 +486,9 @@ class MetricsConfig:
     history:
         Keep the snapshot series in memory (returned inside
         ``RunMetrics.telemetry``); disable for very long runs streamed
-        to ``path``.
+        to ``path`` — the backends then stream each snapshot straight
+        to the JSONL file as it is taken, so nothing accumulates in
+        memory and nothing is lost.
     """
 
     interval: Optional[float] = None
@@ -559,6 +561,10 @@ class RunTelemetry:
         self.cache_fn = cache_fn
         self.tracer = tracer
         self.snapshots: List[dict] = []
+        # Incremental JSONL stream (history-off mode); see open_stream.
+        self._stream = None
+        self._stream_tmp: Optional[Path] = None
+        self._stream_target: Optional[Path] = None
         # Previous-window counters for the burn-rate delta.
         self._prev_completed = 0
         self._prev_violations = 0
@@ -645,6 +651,8 @@ class RunTelemetry:
         }
         if self.config.history:
             self.snapshots.append(snapshot)
+        if self._stream is not None:
+            self._stream.write(json.dumps(snapshot, separators=(",", ":")) + "\n")
         if self.tracer is not None:
             fields = {k: v for k, v in snapshot.items() if k not in ("t", "type")}
             self.tracer.emit("metrics.snapshot", now, **fields)
@@ -729,9 +737,47 @@ class RunTelemetry:
             "snapshots": list(self.snapshots),
         }
 
+    # -- persistence ----------------------------------------------------
+    def open_stream(self, path: Path) -> Path:
+        """Stream every subsequent snapshot straight to ``path``.
+
+        Backends call this before the run when the config has a
+        ``path`` but ``history`` is disabled: each snapshot is appended
+        to a ``.tmp`` sibling the moment it is taken (nothing
+        accumulates in memory), and :meth:`close_stream` atomically
+        renames it into place.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream_target = path
+        self._stream_tmp = path.with_suffix(path.suffix + ".tmp")
+        self._stream = self._stream_tmp.open("w", encoding="utf-8")
+        return path
+
+    def close_stream(self) -> Optional[Path]:
+        """Flush and publish a stream opened by :meth:`open_stream`.
+
+        Idempotent; returns the published path, or ``None`` when no
+        stream is open.  Publishes whatever was streamed so far, so an
+        interrupted run still keeps its partial series.
+        """
+        if self._stream is None:
+            return None
+        self._stream.close()
+        self._stream = None
+        self._stream_tmp.replace(self._stream_target)
+        self._stream_tmp = None
+        return self._stream_target
+
     def write_jsonl(self, path: Path) -> Path:
         """Write the snapshot series as one JSONL file (trace-schema
-        valid: each line is a ``metrics.snapshot`` event)."""
+        valid: each line is a ``metrics.snapshot`` event).
+
+        In streaming mode (``open_stream`` active) the series is
+        already on disk — this just closes and publishes the stream.
+        """
+        if self._stream is not None:
+            return self.close_stream()
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(path.suffix + ".tmp")

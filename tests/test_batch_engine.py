@@ -25,10 +25,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.cloud.datacenter import Datacenter
+from repro.cloud.monitor import Monitor
+from repro.cloud.vecfleet import VectorFleet
 from repro.core import AdaptivePolicy
 from repro.errors import ConfigurationError
 from repro.experiments import run_policy, scientific_scenario, web_scenario
 from repro.backends import DESVecBackend
+from repro.metrics.collector import MetricsCollector
+from repro.workloads.base import ServiceTimeSampler
 from repro.sim import (
     Engine,
     SoAQueues,
@@ -197,6 +202,36 @@ def test_engine_peek_skips_cancelled_and_reports_next_time():
     assert eng.peek() == 2.0
     eng.run()
     assert eng.peek() is None
+
+
+def test_vecfleet_drained_station_with_queued_work_destroyed_once():
+    """A draining station that finishes several requests within one
+    span (in-service + queued) must be destroyed exactly once, at its
+    *last* departure.  Regression: the per-wave emptied test compared
+    against the post-drain state, scheduling the destroy once per wave
+    and crashing the flush on the duplicate removal.
+    """
+    engine = Engine()
+    metrics = MetricsCollector(track_fleet_series=True)
+    fleet = VectorFleet(
+        engine=engine,
+        datacenter=Datacenter(num_hosts=4),
+        sampler=ServiceTimeSampler(np.random.default_rng(0), base=1.0, jitter=0.0),
+        monitor=Monitor(engine=engine, metrics=metrics, default_service_time=1.0),
+        metrics=metrics,
+        capacity=3,
+    )
+    fleet.scale_to(1)
+    fleet.load(np.array([0.0, 0.1]))
+    fleet.advance(0.5)  # both admitted: one in service, one queued
+    assert fleet.in_flight == 2
+    fleet.scale_to(0)  # occupied station -> graceful drain
+    assert fleet.live_count == 1
+    fleet.finish(10.0)  # both completions land in the same span
+    assert fleet.completions_processed == 2
+    assert fleet.live_count == 0
+    # Destroyed at the second departure (t=2.0), not the first.
+    assert metrics.fleet_series[-1] == (2.0, 0)
 
 
 # ---------------------------------------------------------------------------

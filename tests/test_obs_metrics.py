@@ -124,6 +124,15 @@ def test_histogram_scalar_and_bulk_bucket_identically():
     assert scalar.counts[-1] == 1  # 500 >= bounds[-1] → overflow
 
 
+def test_histogram_counts_returns_a_copy():
+    hist = Histogram("qos.response_time", log_bucket_bounds(1e-2, 1e2))
+    hist.observe(0.5)
+    leaked = hist.counts
+    leaked[0] += 99
+    leaked.append(1)
+    assert sum(hist.counts) == hist.count == 1
+
+
 def test_histogram_rejects_bad_bounds_and_merge_mismatch():
     with pytest.raises(ConfigurationError):
         Histogram("qos.response_time", [])
@@ -367,6 +376,34 @@ def test_history_false_keeps_no_snapshots():
     tel = RunTelemetry(cfg.build(1.0), cfg, 1.0, interval=50.0, collector=_FakeCollector())
     tel.sample(50.0)
     assert tel.snapshots == []
+
+
+def test_history_false_streams_snapshots_to_path(tmp_path):
+    """history=False + path must not lose the series: snapshots are
+    streamed to disk as they are taken (regression: write_jsonl used to
+    dump the empty in-memory list)."""
+    path = tmp_path / "tel.jsonl"
+    cfg = MetricsConfig(history=False, path=str(path))
+    tel = RunTelemetry(cfg.build(1.0), cfg, 1.0, interval=50.0, collector=_FakeCollector())
+    tel.open_stream(path)
+    tel.sample(50.0)
+    tel.sample(100.0)
+    out = tel.write_jsonl(path)
+    assert out == path
+    assert tel.snapshots == []  # still nothing retained in memory
+    assert [s["t"] for s in load_snapshots(path)] == [50.0, 100.0]
+    assert tel.close_stream() is None  # idempotent after write_jsonl
+
+
+def test_close_stream_publishes_partial_series_on_interrupt(tmp_path):
+    path = tmp_path / "tel.jsonl"
+    cfg = MetricsConfig(history=False, path=str(path))
+    tel = RunTelemetry(cfg.build(1.0), cfg, 1.0, interval=50.0, collector=_FakeCollector())
+    tel.open_stream(path)
+    tel.sample(50.0)
+    # The backend's finally path: close without finalize/write_jsonl.
+    assert tel.close_stream() == path
+    assert [s["t"] for s in load_snapshots(path)] == [50.0]
 
 
 # ---------------------------------------------------------------------------
