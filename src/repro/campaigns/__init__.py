@@ -4,21 +4,25 @@ A *campaign* is the paper's evaluation pattern generalized: a
 declarative ``(scenario × policy × backend × seed)`` grid
 (:class:`~repro.campaigns.spec.CampaignSpec`, loaded from TOML, JSON,
 or a plain dict) expanded into deterministic, content-addressed
-:class:`~repro.campaigns.spec.Cell`\\ s, executed through the existing
-replication pool with skip-if-cached and retry-on-worker-failure
+:class:`~repro.campaigns.spec.Cell`\\ s, reconciled against the store
+by a lease-based scheduler (:mod:`repro.campaigns.scheduler`) that
+hands claimed cells to the replication-pool runner with
+skip-if-cached and retry-on-worker-failure
 (:mod:`repro.campaigns.executor`), persisted in an on-disk result
 store keyed by a stable hash of each cell's full configuration
 (:mod:`repro.campaigns.store`), and aggregated back into paper-style
 tables (:mod:`repro.campaigns.report`).
 
-The store makes campaigns *crash-safe and resumable*: killing a run
-mid-grid loses nothing that already completed — re-running the same
-spec executes only the missing cells.  ``campaigns/paper.toml``
-reproduces the paper's entire §VI evaluation with one command::
+The store makes campaigns *crash-safe, resumable, and shareable*:
+killing a run mid-grid loses nothing that already completed — and any
+number of workers pointed at one store cooperate through atomic cell
+leases, stealing work from peers that die.  ``campaigns/paper.toml``
+reproduces the paper's entire §VI evaluation with one command (or two
+cooperating ones)::
 
-    repro campaign run campaigns/paper.toml
-    repro campaign status campaigns/paper.toml
-    repro campaign report campaigns/paper.toml --out results/
+    repro campaign run campaigns/paper.toml --shard 0/2 &
+    repro campaign run campaigns/paper.toml --shard 1/2
+    repro campaign agg campaigns/paper.toml --out results/
 
 Layering: this package sits *above* ``repro.experiments`` and
 ``repro.backends`` (it may import both); nothing in the library
@@ -26,10 +30,16 @@ imports it back (enforced by ``tools/check_layering.py``) — the CLI
 reaches it through a function-local import only.
 """
 
-from .executor import CampaignResult, CellOutcome, run_campaign
-from .report import campaign_report, campaign_status_rows
+from .report import campaign_agg, campaign_report, campaign_status_rows
+from .scheduler import (
+    CampaignResult,
+    CellOutcome,
+    default_owner,
+    parse_shard,
+    run_campaign,
+)
 from .spec import CAMPAIGN_SCHEMA_VERSION, CampaignSpec, Cell, ScenarioGrid
-from .store import ResultStore
+from .store import ClaimOutcome, Lease, ResultStore
 from .watch import CellProgress, snapshot_progress, watch, watch_table
 
 __all__ = [
@@ -37,10 +47,15 @@ __all__ = [
     "CampaignSpec",
     "Cell",
     "ScenarioGrid",
+    "ClaimOutcome",
+    "Lease",
     "ResultStore",
     "CampaignResult",
     "CellOutcome",
+    "default_owner",
+    "parse_shard",
     "run_campaign",
+    "campaign_agg",
     "campaign_report",
     "campaign_status_rows",
     "CellProgress",

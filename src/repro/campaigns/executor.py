@@ -1,10 +1,10 @@
-"""Campaign executor — cells in, cached results out, crash-safe.
+"""Campaign cell runner — claimed cells in, stored results out.
 
-The executor turns an expanded campaign grid into work for the
-existing replication machinery:
+This module is the *mechanics* half of the campaign engine; the
+control loop (reconciliation, sharding, lease claiming) lives in
+:mod:`repro.campaigns.scheduler`.  The runner keeps the semantics the
+monolithic executor always had:
 
-* **skip-if-cached** — cells whose artifact already exists in the
-  :class:`~repro.campaigns.store.ResultStore` are never re-executed;
 * **grouping** — pending cells sharing ``(scenario, policy, backend)``
   run as one :func:`~repro.experiments.runner.run_replications` call,
   so a campaign inherits the process-pool parallelism (and its
@@ -15,259 +15,62 @@ existing replication machinery:
   the other groups either way);
 * **fluid prescreen** — optionally, each DES cell's *fluid twin*
   (identical configuration, ``backend="fluid"``) is evaluated first;
-  twins are ordinary cells, so they cache like everything else, and a
-  DES cell whose analytical rejection rate already exceeds the spec's
-  threshold is skipped as ``screened`` instead of simulated;
+  twins are ordinary cells, so they cache (and claim) like everything
+  else, and a DES cell whose analytical rejection rate already exceeds
+  the spec's threshold is skipped as ``screened`` instead of simulated;
 * **observability** — every cell transition emits a
   ``campaign.cell.*`` event on the trace bus (schema-validated like
   all events; ``t`` is wall-clock seconds since campaign start).
 
-Results land in the store *as each group finishes* via atomic writes,
-which is the whole resume story: kill the process at any point, run
-the same command again, and only the missing cells execute.
+Results land in the store *as each group finishes* via durable atomic
+writes, which is the whole resume story: kill the process at any
+point, run the same command again, and only the missing cells execute.
+Each cell's lease is released the moment its artifact (or failure
+record) lands, so cooperating workers see progress at cell - not
+campaign - granularity.
+
+For backwards compatibility this module still re-exports the public
+campaign API (``run_campaign``, ``CampaignResult``, ``CellOutcome``)
+from the scheduler via module ``__getattr__``.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..experiments.runner import run_replications
-from ..obs.bus import TraceBus, TraceConfig
+from ..obs.bus import TraceBus
 from ..obs.log import get_logger, kv
 from ..obs.metrics import MetricsConfig
-from ..obs.profile import Stopwatch
 from .spec import CampaignSpec, Cell
 from .store import ResultStore
 
 _log = get_logger(__name__)
 
-__all__ = ["CellOutcome", "CampaignResult", "run_campaign"]
+__all__ = [
+    "CellOutcome",
+    "CampaignResult",
+    "prescreen_cells",
+    "run_campaign",
+    "run_group",
+]
 
-#: Statuses a cell can end a campaign run in.
-_STATUSES = ("executed", "cached", "screened", "failed", "skipped")
-
-
-@dataclass(frozen=True)
-class CellOutcome:
-    """What happened to one cell during one campaign run.
-
-    ``status`` is one of ``executed`` (ran this time), ``cached``
-    (served from the store), ``screened`` (fluid prescreen ruled it
-    out), ``failed`` (all retries exhausted; ``error`` holds the
-    message), or ``skipped`` (left pending by ``max_cells``).
-    """
-
-    cell: Cell
-    status: str
-    error: Optional[str] = None
+# Names that moved to the scheduler in the lease refactor; forwarded
+# lazily (PEP 562) so `import repro.campaigns.executor` keeps working
+# without a circular module-top import (scheduler imports this module).
+_FORWARDED = ("run_campaign", "CampaignResult", "CellOutcome", "_STATUSES")
 
 
-@dataclass
-class CampaignResult:
-    """Summary of one :func:`run_campaign` invocation."""
+def __getattr__(name: str):
+    if name in _FORWARDED:
+        from . import scheduler
 
-    outcomes: List[CellOutcome] = field(default_factory=list)
-    wall_seconds: float = 0.0
-
-    def by_status(self, status: str) -> List[Cell]:
-        return [o.cell for o in self.outcomes if o.status == status]
-
-    @property
-    def executed(self) -> List[Cell]:
-        return self.by_status("executed")
-
-    @property
-    def cached(self) -> List[Cell]:
-        return self.by_status("cached")
-
-    @property
-    def screened(self) -> List[Cell]:
-        return self.by_status("screened")
-
-    @property
-    def failed(self) -> List[Cell]:
-        return self.by_status("failed")
-
-    @property
-    def skipped(self) -> List[Cell]:
-        return self.by_status("skipped")
-
-    def counts(self) -> Dict[str, int]:
-        counts = {status: 0 for status in _STATUSES}
-        for o in self.outcomes:
-            counts[o.status] = counts.get(o.status, 0) + 1
-        return counts
-
-    def summary_line(self) -> str:
-        counts = self.counts()
-        parts = [f"{counts[s]} {s}" for s in _STATUSES if counts[s]]
-        return (
-            f"campaign: {len(self.outcomes)} cell(s) — "
-            + (", ".join(parts) if parts else "nothing to do")
-            + f"  ({self.wall_seconds:.2f}s)"
-        )
+        return getattr(scheduler, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def _group_cells(cells: Sequence[Cell]) -> List[Tuple[Cell, List[Cell]]]:
-    """Group cells sharing (scenario, params, policy, backend).
-
-    Returns ``(representative, members)`` pairs in first-seen order;
-    members differ only by seed, so one ``run_replications`` call
-    covers the whole group.
-    """
-    groups: Dict[Tuple, List[Cell]] = {}
-    order: List[Tuple] = []
-    for cell in cells:
-        gkey = (cell.scenario, cell.params, cell.policy, cell.backend)
-        if gkey not in groups:
-            groups[gkey] = []
-            order.append(gkey)
-        groups[gkey].append(cell)
-    return [(groups[g][0], groups[g]) for g in order]
-
-
-def _build_bus(
-    trace: Optional[Union[TraceBus, TraceConfig]], spec: CampaignSpec
-) -> Tuple[Optional[TraceBus], bool]:
-    """(bus, owns_it) — a TraceConfig builds a campaign-scoped bus."""
-    if trace is None:
-        return None, False
-    if isinstance(trace, TraceConfig):
-        return trace.build(scenario=spec.name, policy="campaign", seed=0), True
-    return trace, False
-
-
-def run_campaign(
-    spec: CampaignSpec,
-    store: Optional[Union[str, ResultStore]] = None,
-    workers: Optional[int] = None,
-    quick: bool = False,
-    trace: Optional[Union[TraceBus, TraceConfig]] = None,
-    max_cells: Optional[int] = None,
-    progress: Optional[Callable[[str], None]] = None,
-    metrics: Optional[MetricsConfig] = None,
-) -> CampaignResult:
-    """Execute (or resume) a campaign against its result store.
-
-    Parameters
-    ----------
-    spec:
-        The validated campaign.
-    store:
-        A :class:`~repro.campaigns.store.ResultStore`, a directory
-        path, or ``None`` for the spec's own store location.
-    workers:
-        Pool size per cell group; ``None`` uses ``spec.workers``
-        (0 = one per CPU).
-    quick:
-        Expand the grid with each scenario block's ``quick`` overrides
-        applied.  Quick cells hash differently from full cells — the
-        two grids never collide in the store.
-    trace:
-        ``None``, a live :class:`~repro.obs.bus.TraceBus`, or a
-        :class:`~repro.obs.bus.TraceConfig` (one campaign-scoped bus
-        is built and closed around the run).
-    max_cells:
-        Execute at most this many *new* cells, then leave the rest
-        pending (``skipped``) — the testing hook for interrupt/resume
-        semantics (cached and screened cells do not count).
-    progress:
-        Optional line sink (e.g. ``print``) for per-group progress.
-    metrics:
-        Optional :class:`~repro.obs.metrics.MetricsConfig` forwarded to
-        every executed cell.  A config without a ``path`` is pointed at
-        the store's ``telemetry/`` directory, which is where
-        ``repro campaign watch`` reads live snapshot streams from.
-
-    Returns
-    -------
-    CampaignResult
-        One :class:`CellOutcome` per cell of the expanded grid.
-    """
-    if not isinstance(store, ResultStore):
-        store = ResultStore(spec.store_path(store))
-    if workers is None:
-        workers = spec.workers
-    if workers == 0:  # 0 = auto: one worker per CPU
-        from ..experiments.parallel import default_workers
-
-        workers = default_workers()
-    pool_workers = max(1, int(workers))
-    if metrics is not None and metrics.path is None:
-        metrics = dataclasses.replace(
-            metrics, path=str(store.root / "telemetry") + "/"
-        )
-
-    cells = spec.expanded(quick=quick)
-    bus, owns_bus = _build_bus(trace, spec)
-    # Event clock for campaign.cell.* traces: wall-clock seconds since
-    # campaign start, read through the sanctioned duration meter.
-    elapsed = Stopwatch().elapsed
-    say = progress or (lambda line: None)
-    result = CampaignResult()
-    emitted: Dict[str, CellOutcome] = {}
-
-    def finish(cell: Cell, status: str, error: Optional[str] = None) -> None:
-        emitted[cell.key()] = CellOutcome(cell, status, error)
-
-    try:
-        # ------------------------------------------------------------------
-        # 1. Serve everything already in the store.
-        # ------------------------------------------------------------------
-        pending: List[Cell] = []
-        for cell in cells:
-            if store.has(cell):
-                finish(cell, "cached")
-                if bus is not None:
-                    bus.emit("campaign.cell.cached", elapsed(), key=cell.key())
-            else:
-                pending.append(cell)
-        if len(cells) != len(pending):
-            say(f"cache: {len(cells) - len(pending)}/{len(cells)} cell(s) already stored")
-
-        # ------------------------------------------------------------------
-        # 2. Fluid prescreen of expensive DES cells (optional).
-        # ------------------------------------------------------------------
-        if spec.prescreen:
-            pending = _prescreen(spec, store, pending, bus, elapsed, finish, say)
-
-        # ------------------------------------------------------------------
-        # 3. Execute the remaining cells, group by group.
-        # ------------------------------------------------------------------
-        budget = max_cells if max_cells is not None else len(pending)
-        for head, members in _group_cells(pending):
-            if budget <= 0:
-                for cell in members:
-                    finish(cell, "skipped")
-                continue
-            batch, rest = members[:budget], members[budget:]
-            for cell in rest:
-                finish(cell, "skipped")
-            budget -= len(batch)
-            _run_group(
-                spec, store, head, batch, pool_workers, bus, elapsed, finish,
-                say, metrics,
-            )
-    finally:
-        # Interrupt-path guarantee: a campaign killed mid-run must leave
-        # every already-emitted event on disk.  Owned buses are closed
-        # (final flush included); borrowed ones are flushed but left
-        # open for the caller.
-        if bus is not None:
-            if owns_bus:
-                bus.close()
-            else:
-                bus.flush()
-
-    # Report outcomes in grid order.
-    result.outcomes = [emitted[c.key()] for c in cells]
-    result.wall_seconds = elapsed()
-    return result
-
-
-def _prescreen(
+def prescreen_cells(
     spec: CampaignSpec,
     store: ResultStore,
     pending: Sequence[Cell],
@@ -275,9 +78,17 @@ def _prescreen(
     elapsed: Callable[[], float],
     finish: Callable,
     say: Callable[[str], None],
-) -> List[Cell]:
-    """Drop DES cells whose fluid twin already violates the threshold."""
+    claims,
+) -> Tuple[List[Cell], int, List[Cell]]:
+    """Drop DES cells whose fluid twin already violates the threshold.
+
+    Returns ``(survivors, screened_count, deferred)`` — deferred cells
+    have their twin claimed by another worker right now; the scheduler
+    retries them next round (by then the twin is usually cached).
+    """
     survivors: List[Cell] = []
+    deferred: List[Cell] = []
+    screened = 0
     for cell in pending:
         # Both DES flavours (scalar "des" and vectorized "des-vec") get
         # the analytical prescreen; fluid cells ARE the twins.
@@ -287,14 +98,23 @@ def _prescreen(
         twin = dataclasses.replace(cell, backend="fluid")
         metrics = store.get(twin)
         if metrics is None:
+            held, contended = claims.claim_all([twin])
+            if contended:
+                deferred.append(cell)
+                continue
             try:
-                metrics = run_replications(
-                    twin.build_scenario(),
-                    twin.policy_factory(),
-                    seeds=(twin.seed,),
-                    workers=1,
-                    backend="fluid",
-                )[0]
+                # Re-check under the lease: a peer may have landed the
+                # twin between our cache miss and the claim.
+                metrics = store.get(twin)
+                if metrics is None:
+                    metrics = run_replications(
+                        twin.build_scenario(),
+                        twin.policy_factory(),
+                        seeds=(twin.seed,),
+                        workers=1,
+                        backend="fluid",
+                    )[0]
+                    store.put(twin, metrics)
             except Exception as exc:  # noqa: BLE001 - prescreen is advisory
                 _log.warning(
                     "fluid prescreen failed; running the DES cell anyway: %s",
@@ -302,10 +122,12 @@ def _prescreen(
                 )
                 survivors.append(cell)
                 continue
-            store.put(twin, metrics)
+            finally:
+                claims.release_all(held)
         if metrics.rejection_rate > spec.prescreen_max_rejection:
             store.mark_screened(cell, rejection_rate=metrics.rejection_rate)
             finish(cell, "screened")
+            screened += 1
             say(
                 f"screened {cell.label()}: fluid rejection "
                 f"{metrics.rejection_rate:.1%} > {spec.prescreen_max_rejection:.1%}"
@@ -319,10 +141,10 @@ def _prescreen(
                 )
         else:
             survivors.append(cell)
-    return survivors
+    return survivors, screened, deferred
 
 
-def _run_group(
+def run_group(
     spec: CampaignSpec,
     store: ResultStore,
     head: Cell,
@@ -333,8 +155,13 @@ def _run_group(
     finish: Callable,
     say: Callable[[str], None],
     metrics: Optional[MetricsConfig] = None,
+    claims=None,
 ) -> None:
-    """One (scenario, policy, backend) group through the pool, with retry."""
+    """One (scenario, policy, backend) group through the pool, with retry.
+
+    ``batch`` must already be claimed by the caller; each cell's lease
+    is released as soon as its result (or failure record) is stored.
+    """
     seeds = [c.seed for c in batch]
     by_seed = {c.seed: c for c in batch}
     if bus is not None:
@@ -370,6 +197,8 @@ def _run_group(
                 cell = by_seed[run.seed]
                 store.put(cell, run)
                 finish(cell, "executed")
+                if claims is not None:
+                    claims.release_all([cell])
                 if bus is not None:
                     bus.emit(
                         "campaign.cell.done",
@@ -398,6 +227,8 @@ def _run_group(
     for cell in batch:
         store.mark_failed(cell, error)
         finish(cell, "failed", error=error)
+        if claims is not None:
+            claims.release_all([cell])
         if bus is not None:
             bus.emit("campaign.cell.failed", elapsed(), key=cell.key(), error=error)
     say(f"FAILED {group_label} after {spec.retries + 1} attempt(s): {error}")

@@ -13,19 +13,26 @@ Two views over a campaign's store:
 * :func:`campaign_status_rows` — the operational view: one row per
   cell with its store status, backing ``repro campaign status`` and
   the CI smoke job's completeness gate.
+
+Plus the streaming composition of the two:
+
+* :func:`campaign_agg` — re-renders the figure view as cells land in
+  the store, so an operator can watch paper tables fill in live while
+  any number of workers (local or remote shards) execute the grid.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..backends.base import RunMetrics
 from ..experiments.figures import FigureData, _PANEL_FIELDS
-from ..metrics.report import summary_cells
+from ..metrics.report import format_markdown_table, summary_cells
 from .spec import CampaignSpec, Cell
 from .store import ResultStore
 
-__all__ = ["campaign_report", "campaign_status_rows"]
+__all__ = ["campaign_agg", "campaign_report", "campaign_status_rows"]
 
 
 def _grouped(cells: List[Cell]) -> List[Tuple[Tuple, List[Cell]]]:
@@ -102,13 +109,18 @@ def campaign_status_rows(
 
     Returns ``(headers, rows, counts)`` where ``counts`` maps each
     observed status (``cached`` / ``screened`` / ``failed`` /
-    ``missing``) to its cell count.
+    ``claimed`` / ``missing``) to its cell count.  ``claimed`` means a
+    live worker holds the cell's lease; a lease older than the spec's
+    ``lease_ttl`` is reclaimable and reports as ``missing``.
     """
     headers = ["scenario", "policy", "backend", "seed", "status", "key"]
     rows: List[List[object]] = []
     counts: Dict[str, int] = {}
+    # One filesystem-clock probe for the whole scan — and none at all
+    # when no leases exist (the common post-campaign case).
+    now = store.fs_now() if store.active_leases(fs_now=0.0) else None
     for cell in spec.expanded(quick=quick):
-        status = store.status_of(cell)
+        status = store.status_of(cell, lease_ttl=spec.lease_ttl, fs_now=now)
         counts[status] = counts.get(status, 0) + 1
         rows.append(
             [
@@ -121,3 +133,55 @@ def campaign_status_rows(
             ]
         )
     return headers, rows, counts
+
+
+def campaign_agg(
+    spec: CampaignSpec,
+    store: Optional[Union[str, ResultStore]] = None,
+    quick: bool = False,
+    ci: bool = True,
+    follow: bool = False,
+    interval: float = 2.0,
+    out: Optional[Callable[[str], None]] = None,
+    max_refreshes: Optional[int] = None,
+    render: Optional[Callable[[FigureData], str]] = None,
+) -> int:
+    """Stream partial paper-style tables as cells land in the store.
+
+    Renders :func:`campaign_report` over whatever the store holds right
+    now — dashes for untouched groups, partial ``found/wanted`` seed
+    counts for in-progress ones — and, with ``follow``, re-renders
+    every ``interval`` seconds until every cell is terminal (``cached``
+    / ``screened`` / ``failed``).  Cells merely ``claimed`` by live
+    workers keep the loop alive: ``agg`` is the observer half of a
+    sharded campaign, aggregating concurrent workers' output without
+    executing anything itself.
+
+    Returns the number of refreshes rendered (at least 1).
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(spec.store_path(store))
+    cells = spec.expanded(quick=quick)
+    write = out or print
+    show = render or (lambda data: _default_render(data))
+    refreshes = 0
+    while True:
+        _, _, counts = campaign_status_rows(spec, store, quick=quick)
+        done = sum(counts.get(s, 0) for s in ("cached", "screened", "failed"))
+        data = campaign_report(spec, store, quick=quick, ci=ci)
+        in_flight = counts.get("claimed", 0)
+        trailer = f"[{done}/{len(cells)} cell(s)"
+        if in_flight:
+            trailer += f", {in_flight} in flight"
+        trailer += "]"
+        write(show(data).rstrip("\n") + f"\n{trailer}")
+        refreshes += 1
+        complete = done >= len(cells)
+        exhausted = max_refreshes is not None and refreshes >= max_refreshes
+        if complete or not follow or exhausted:
+            return refreshes
+        time.sleep(interval)
+
+
+def _default_render(data: FigureData) -> str:
+    return f"# {data.title}\n\n" + format_markdown_table(data.headers, data.rows)

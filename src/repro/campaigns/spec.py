@@ -353,6 +353,11 @@ class CampaignSpec:
         configuration the analytical model already rules out.
     prescreen_max_rejection:
         The screening threshold (fraction of arrivals rejected).
+    lease_ttl:
+        Seconds a claimed cell's lease stays protected without a
+        heartbeat before other workers may steal it.  Must comfortably
+        exceed the heartbeat cadence (TTL/4); the default tolerates a
+        worker stalling for 15 minutes before its work is reassigned.
     grids:
         The scenario blocks, in spec order.
     """
@@ -364,6 +369,7 @@ class CampaignSpec:
     retries: int = 1
     prescreen: bool = False
     prescreen_max_rejection: float = 0.5
+    lease_ttl: float = 900.0
     grids: Tuple[ScenarioGrid, ...] = ()
 
     def __post_init__(self) -> None:
@@ -379,6 +385,10 @@ class CampaignSpec:
             raise ConfigurationError(
                 "prescreen_max_rejection must be in [0, 1], got "
                 f"{self.prescreen_max_rejection!r}"
+            )
+        if not self.lease_ttl > 0:
+            raise ConfigurationError(
+                f"lease_ttl must be > 0 seconds, got {self.lease_ttl!r}"
             )
 
     # ------------------------------------------------------------------
@@ -418,6 +428,7 @@ class CampaignSpec:
             retries=int(execution.pop("retries", 1)),
             prescreen=bool(prescreen),
             prescreen_max_rejection=float(execution.pop("prescreen_max_rejection", 0.5)),
+            lease_ttl=float(execution.pop("lease_ttl", 900.0)),
             grids=grids,
         )
         if execution:

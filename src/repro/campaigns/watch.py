@@ -2,12 +2,17 @@
 
 ``repro campaign watch`` renders one table row per cell of a campaign
 grid: the cell's store status (``cached`` / ``failed`` / ``screened`` /
-``running`` / ``pending``), its live progress when a
+``running`` / ``claimed`` / ``pending``), its live progress when a
 ``metrics.snapshot`` stream exists under the store's ``telemetry/``
-directory (written by :func:`repro.campaigns.executor.run_campaign`
+directory (written by :func:`repro.campaigns.scheduler.run_campaign`
 when invoked with a :class:`~repro.obs.metrics.MetricsConfig`), and a
 campaign ETA extrapolated from the wall time of the cells already in
 the store.
+
+With several workers sharing one store, each worker streams its own
+cells' telemetry into the same ``telemetry/`` directory, so a single
+watcher aggregates progress across the whole fleet; lease records add
+the owning worker per in-flight cell and an active-worker footer.
 
 The watcher is a pure *reader*: it never touches the store's manifest
 or artifacts beyond reads, so it can run next to a live campaign
@@ -46,6 +51,7 @@ class CellProgress:
     fraction: float
     snapshot: Optional[dict] = None
     wall_seconds: Optional[float] = None
+    owner: Optional[str] = None
 
 
 def _last_snapshot(path: Path) -> Optional[dict]:
@@ -79,13 +85,19 @@ def snapshot_progress(
         return CellProgress(cell, "cached", 1.0, wall_seconds=wall)
     if status in ("failed", "screened"):
         return CellProgress(cell, status, 1.0)
+    # A claimed cell is running on some worker — show whose, and read
+    # whatever telemetry that worker has streamed so far.
+    lease = store.lease_of(cell, fs_now=0.0)
+    owner = lease.owner if lease is not None else None
     config = MetricsConfig(path=str(store.root / "telemetry") + "/")
     stream = config.resolve_path(cell.scenario_label(), cell.policy_label, cell.seed)
     snap = _last_snapshot(stream)
     if snap is None:
-        return CellProgress(cell, "pending", 0.0)
+        return CellProgress(
+            cell, "claimed" if owner else "pending", 0.0, owner=owner
+        )
     fraction = min(1.0, float(snap.get("t", 0.0)) / horizon) if horizon > 0 else 0.0
-    return CellProgress(cell, "running", fraction, snapshot=snap)
+    return CellProgress(cell, "running", fraction, snapshot=snap, owner=owner)
 
 
 def _progress_bar(fraction: float, width: int = 10) -> str:
@@ -127,6 +139,8 @@ def watch_table(
                 f"rej={float(s.get('rejection_rate', 0.0)):.2%} "
                 f"viol={float(s.get('violation_fraction', 0.0)):.2%}"
             )
+        if p.owner is not None:
+            detail = (detail + f" @{p.owner}").strip()
         rows.append(
             [
                 cell.label(),
@@ -147,6 +161,11 @@ def watch_table(
         table += f"\nETA ~{eta:.0f}s for {remaining} remaining cell(s) (mean of {len(walls)} stored run(s))"
     elif remaining:
         table += f"\n{remaining} cell(s) remaining (no stored runs yet to extrapolate an ETA)"
+    # Concurrent-worker footer: one line naming every live lease owner,
+    # so a sharded campaign's watcher shows who is working the store.
+    owners = sorted({lease.owner for lease in store.active_leases(fs_now=0.0)})
+    if owners:
+        table += f"\n{len(owners)} active worker(s): {', '.join(owners)}"
     return table
 
 

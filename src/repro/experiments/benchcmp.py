@@ -120,10 +120,17 @@ def _measure_metrics_overhead_ratio() -> float:
     return metrics_overhead(repeats=1)["overhead_ratio"]
 
 
+def _measure_shard_orchestration_overhead() -> float:
+    from .bench import shard_overhead
+
+    return shard_overhead()["overhead_ratio"]
+
+
 #: The comparable gates, in report order.  Values compared are seconds
-#: (lower is better) except ``metrics_overhead_ratio``, which is the
-#: on/off wall-clock ratio — dimensionless, but "lower is better" still
-#: holds, so the same tolerance logic applies.
+#: (lower is better) except ``metrics_overhead_ratio`` and
+#: ``shard_orchestration_overhead``, which are on/off wall-clock ratios
+#: — dimensionless, but "lower is better" still holds, so the same
+#: tolerance logic applies.
 BENCH_GATES: Dict[str, Gate] = {
     "engine_event_throughput_50k": Gate(
         _measure_engine_50k,
@@ -167,6 +174,11 @@ BENCH_GATES: Dict[str, Gate] = {
     "metrics_overhead_ratio": Gate(
         _measure_metrics_overhead_ratio,
         ("gates.metrics_overhead_ratio.seconds",),
+        slow=True,
+    ),
+    "shard_orchestration_overhead": Gate(
+        _measure_shard_orchestration_overhead,
+        ("gates.shard_orchestration_overhead.seconds",),
         slow=True,
     ),
 }

@@ -19,9 +19,11 @@ Installed as ``repro`` (and the legacy alias ``repro-experiments``)::
     repro lint src tests
     repro lint src --format json --baseline .reprolint.json
     repro campaign run campaigns/paper.toml --metrics
+    repro campaign run campaigns/paper.toml --shard 0/2
     repro campaign watch campaigns/paper.toml --follow
-    repro campaign status campaigns/paper.toml
+    repro campaign status campaigns/paper.toml --require-complete
     repro campaign report campaigns/paper.toml --out results/
+    repro campaign agg campaigns/paper.toml --follow
 
 Each experiment prints its table to stdout; ``--out DIR`` additionally
 writes ``<experiment>.md`` (markdown table) and ``<experiment>.csv``.
@@ -45,13 +47,16 @@ exposition format (self-validated before printing).  ``bench
 non-zero if any slowed past ``--tolerance`` versus the committed
 baseline (:mod:`repro.experiments.benchcmp`).
 
-``campaign {run,status,report}`` drives declarative scenario-grid
+``campaign {run,status,report,agg}`` drives declarative scenario-grid
 campaigns (:mod:`repro.campaigns`): ``run`` executes/resumes a spec
-against its content-addressed result store, ``status`` tabulates
-per-cell cache state, ``report`` aggregates stored cells into the
-paper-style summary table.  The campaigns package is imported lazily
-here — the library itself never depends on it (the ``layering`` lint
-rule enforces that).
+against its content-addressed result store (several concurrent ``run``
+invocations — or static ``--shard i/N`` partitions — cooperate through
+store-level cell leases with crash-stealing), ``status`` tabulates
+per-cell cache state with a stable exit-code contract, ``report``
+aggregates stored cells into the paper-style summary table, and
+``agg`` streams that table live while workers fill the store.  The
+campaigns package is imported lazily here — the library itself never
+depends on it (the ``layering`` lint rule enforces that).
 
 ``lint`` runs the project's static-analysis rules (:mod:`repro.lint`,
 see docs/static-analysis.md) with the contract CI relies on: exit 0 on
@@ -336,15 +341,26 @@ def _write_outputs(data: "figures.FigureData", out_dir: Path) -> None:
 
 
 def _campaign_command(args: argparse.Namespace) -> int:
-    """The ``campaign {run,watch,status,report}`` handler.
+    """The ``campaign {run,watch,status,report,agg}`` handler.
 
     :mod:`repro.campaigns` is imported *here*, not at module level: the
     campaign engine sits above the experiments layer and nothing in the
     library proper may depend on it (``tools/check_layering.py``).
+
+    Exit-code contract (stable for scripting):
+
+    * ``run`` — 0 when no cell ended ``failed``; 1 otherwise.
+    * ``status`` — 0; with ``--require-complete``, 1 unless every cell
+      is ``cached`` or ``screened`` (``claimed``/in-flight cells count
+      as incomplete and are reported separately).
+    * ``watch`` / ``report`` / ``agg`` — 0 (they observe, never gate).
+    * any subcommand — exits via ``SystemExit`` with a
+      ``bad campaign spec: ...`` message on an invalid spec.
     """
     from ..campaigns import (
         CampaignSpec,
         ResultStore,
+        campaign_agg,
         campaign_report,
         campaign_status_rows,
         run_campaign,
@@ -366,6 +382,20 @@ def _campaign_command(args: argparse.Namespace) -> int:
             follow=args.follow,
             interval=args.interval,
         )
+        return 0
+
+    if args.campaign_command == "agg":
+        campaign_agg(
+            spec,
+            store=store,
+            quick=args.quick,
+            follow=args.follow,
+            interval=args.interval,
+        )
+        if args.out:
+            _write_outputs(
+                campaign_report(spec, store, quick=args.quick), Path(args.out)
+            )
         return 0
 
     if args.campaign_command == "run":
@@ -393,6 +423,8 @@ def _campaign_command(args: argparse.Namespace) -> int:
                 metrics=metrics,
                 max_cells=args.max_cells,
                 progress=print,
+                shard=args.shard,
+                lease_ttl=args.lease_ttl,
             )
         except ConfigurationError as exc:
             raise SystemExit(f"campaign failed: {exc}")
@@ -409,8 +441,10 @@ def _campaign_command(args: argparse.Namespace) -> int:
         summary = ", ".join(f"{counts[s]} {s}" for s in sorted(counts))
         print(f"\n{total} cell(s): {summary}  (store: {store.root})")
         incomplete = total - counts.get("cached", 0) - counts.get("screened", 0)
+        in_flight = counts.get("claimed", 0)
         if args.require_complete and incomplete:
-            print(f"INCOMPLETE: {incomplete} cell(s) not yet stored")
+            detail = f" ({in_flight} in flight on live worker(s))" if in_flight else ""
+            print(f"INCOMPLETE: {incomplete} cell(s) not yet stored{detail}")
             return 1
         return 0
 
@@ -659,8 +693,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name, chelp in (
         ("run", "execute (or resume) a campaign spec against its result store"),
         ("watch", "live per-cell progress table (snapshot streams + store)"),
-        ("status", "per-cell cache status of a campaign"),
+        ("status", "per-cell cache status of a campaign (exit 0/1 contract)"),
         ("report", "aggregate stored cells into the paper-style summary table"),
+        ("agg", "stream partial paper-style tables as cells land in the store"),
     ):
         cp = campsub.add_parser(name, help=chelp)
         cp.add_argument("spec", help="campaign spec file (.toml or .json)")
@@ -702,7 +737,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 help="write one metrics.snapshot JSONL stream per cell under "
                 "<store>/telemetry/ (what `campaign watch` reads live)",
             )
-        if name == "watch":
+            cp.add_argument(
+                "--shard",
+                default=None,
+                metavar="I/N",
+                help="own only grid cells with index ≡ I (mod N); off-shard "
+                "cells are skipped (run one process per shard)",
+            )
+            cp.add_argument(
+                "--lease-ttl",
+                type=float,
+                default=None,
+                metavar="SECONDS",
+                help="steal a silent worker's cell lease after this many "
+                "seconds (default: the spec's lease_ttl, 900)",
+            )
+        if name in ("watch", "agg"):
             cp.add_argument(
                 "--follow",
                 action="store_true",
@@ -718,9 +768,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             cp.add_argument(
                 "--require-complete",
                 action="store_true",
-                help="exit 1 unless every cell is cached or screened (CI gate)",
+                help="exit 1 unless every cell is cached or screened — "
+                "claimed/in-flight cells count as incomplete (CI gate)",
             )
-        if name == "report":
+        if name in ("report", "agg"):
             cp.add_argument(
                 "--out", default=None, help="directory for .md/.csv outputs"
             )

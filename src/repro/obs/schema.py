@@ -148,6 +148,15 @@ EVENT_TYPES: Dict[str, Dict[str, tuple]] = {
     "campaign.cell.done": {"key": (str,), "wall_seconds": _FLOAT},
     "campaign.cell.failed": {"key": (str,), "error": (str,)},
     "campaign.cell.screened": {"key": (str,), "rejection_rate": _FLOAT},
+    # campaign scheduler: store-level lease lifecycle — who claimed,
+    # stole, or released which cell (``owner`` is a host:pid worker id)
+    "campaign.claim.acquired": {"key": (str,), "owner": (str,)},
+    "campaign.claim.stolen": {
+        "key": (str,),
+        "owner": (str,),
+        "previous_owner": (str,),
+    },
+    "campaign.claim.released": {"key": (str,), "owner": (str,)},
 }
 
 #: The per-request event types — the only high-frequency ones.  CLI

@@ -107,3 +107,63 @@ def test_campaign_bad_spec_exits_cleanly(tmp_path):
     path.write_text(json.dumps({"campaign": {"name": "x"}, "scenarios": []}))
     with pytest.raises(SystemExit, match="bad campaign spec"):
         main(["campaign", "run", str(path)])
+
+
+def test_campaign_run_sharded_roundtrip(tmp_path, capsys):
+    spec_path = _write_spec(tmp_path, tmp_path / "store")
+    assert main(["campaign", "run", str(spec_path), "--shard", "0/2", "--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "shard 0/2" in out and "2 executed" in out and "2 skipped" in out
+    # The other shard completes the grid.
+    assert main(["campaign", "run", str(spec_path), "--shard", "1/2", "--workers", "1"]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "status", str(spec_path), "--require-complete"]) == 0
+    assert "4 cached" in capsys.readouterr().out
+
+
+def test_campaign_run_rejects_bad_shard(tmp_path, capsys):
+    spec_path = _write_spec(tmp_path, tmp_path / "store")
+    with pytest.raises(SystemExit, match="campaign failed: shard"):
+        main(["campaign", "run", str(spec_path), "--shard", "2/2"])
+
+
+def test_campaign_status_reports_in_flight_cells(tmp_path, capsys):
+    from repro.campaigns import CampaignSpec, ResultStore
+
+    spec_path = _write_spec(tmp_path, tmp_path / "store")
+    spec = CampaignSpec.load(spec_path)
+    store = ResultStore(spec.store_path(None))
+    # A live peer holds one cell.
+    assert store.claim(spec.expanded()[0], "peer:1", ttl=3600.0).acquired
+
+    assert main(["campaign", "status", str(spec_path)]) == 0
+    out = capsys.readouterr().out
+    assert "1 claimed" in out and "3 missing" in out
+
+    # The completeness gate counts in-flight work as incomplete, and
+    # says so (documented exit-code contract: 1 until truly complete).
+    assert main(["campaign", "status", str(spec_path), "--require-complete"]) == 1
+    out = capsys.readouterr().out
+    assert "INCOMPLETE: 4 cell(s)" in out
+    assert "1 in flight" in out
+
+
+def test_campaign_agg_streams_partial_tables(tmp_path, capsys):
+    spec_path = _write_spec(tmp_path, tmp_path / "store")
+    # Half-complete store: agg renders found/wanted seed counts.
+    assert main(["campaign", "run", str(spec_path), "--max-cells", "2", "--workers", "1"]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "agg", str(spec_path)]) == 0
+    out = capsys.readouterr().out
+    assert "2/4 cell(s)" in out
+    assert "2/2" in out and "0/2" in out  # per-group seeds found/wanted
+
+    # Complete the grid: agg reports completion and writes outputs.
+    assert main(["campaign", "run", str(spec_path), "--workers", "1"]) == 0
+    capsys.readouterr()
+    out_dir = tmp_path / "out"
+    assert main(["campaign", "agg", str(spec_path), "--out", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "4/4 cell(s)" in out
+    assert (out_dir / "campaign-cli-test.md").is_file()
+    assert (out_dir / "campaign-cli-test.csv").is_file()

@@ -1,9 +1,10 @@
-"""Content-addressed result store: round-trip, cache hits, manifest."""
+"""Content-addressed result store: round-trip, cache hits, manifest, leases."""
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 
 import pytest
 
@@ -122,3 +123,127 @@ def test_foreign_manifest_rejected(tmp_path, spec):
     store = ResultStore(tmp_path)
     with pytest.raises(ConfigurationError, match="not a campaign manifest"):
         store.manifest()
+
+
+# ---------------------------------------------------------------------------
+# lease protocol (work claiming)
+# ---------------------------------------------------------------------------
+
+
+def _backdate(path, seconds: float) -> None:
+    """Age a lease by pushing its mtime into the past (deterministic
+    staleness without sleeping)."""
+    stat = path.stat()
+    os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+
+
+def test_claim_is_exclusive_and_reentrant(tmp_path, spec):
+    store = ResultStore(tmp_path)
+    cell = spec.expanded()[0]
+    first = store.claim(cell, "alice:1", ttl=60.0)
+    assert first.acquired and first.owner == "alice:1"
+    assert first.stolen_from is None
+    # Another worker is refused and told who holds the lease.
+    other = store.claim(cell, "bob:2", ttl=60.0)
+    assert not other.acquired and other.owner == "alice:1"
+    # Re-claiming your own lease renews it instead of failing.
+    again = store.claim(cell, "alice:1", ttl=60.0)
+    assert again.acquired
+    lease = store.lease_of(cell)
+    assert lease is not None and lease.owner == "alice:1"
+    assert lease.age_seconds < 60.0
+
+
+def test_release_only_by_owner(tmp_path, spec):
+    store = ResultStore(tmp_path)
+    cell = spec.expanded()[0]
+    store.claim(cell, "alice:1", ttl=60.0)
+    assert not store.release(cell.key(), "bob:2")
+    assert store.lease_of(cell) is not None
+    assert store.release(cell.key(), "alice:1")
+    assert store.lease_of(cell) is None
+    assert not store.release(cell.key(), "alice:1")  # idempotent
+
+
+def test_renew_heartbeats_only_held_leases(tmp_path, spec):
+    store = ResultStore(tmp_path)
+    cell = spec.expanded()[0]
+    store.claim(cell, "alice:1", ttl=60.0)
+    _backdate(store.lease_path(cell.key()), 120.0)
+    assert store.lease_of(cell).age_seconds >= 120.0
+    assert store.renew(cell.key(), "alice:1")
+    assert store.lease_of(cell).age_seconds < 60.0
+    assert not store.renew(cell.key(), "bob:2")
+    assert not store.renew("no-such-key", "alice:1")
+
+
+def test_stale_lease_is_stolen_fresh_one_is_not(tmp_path, spec):
+    store = ResultStore(tmp_path)
+    cell = spec.expanded()[0]
+    store.claim(cell, "dead:1", ttl=30.0)
+    # Fresh lease: protected.
+    refused = store.claim(cell, "bob:2", ttl=30.0)
+    assert not refused.acquired
+    # Past the TTL: stolen, and the thief learns whose it was.
+    _backdate(store.lease_path(cell.key()), 31.0)
+    stolen = store.claim(cell, "bob:2", ttl=30.0)
+    assert stolen.acquired
+    assert stolen.stolen_from == "dead:1"
+    assert store.lease_of(cell).owner == "bob:2"
+
+
+def test_status_of_reports_claimed_until_ttl(tmp_path, spec):
+    store = ResultStore(tmp_path)
+    cell = spec.expanded()[0]
+    assert store.status_of(cell) == "missing"
+    store.claim(cell, "alice:1", ttl=60.0)
+    assert store.status_of(cell) == "claimed"
+    # With a TTL in hand the status heals itself: stale -> reclaimable.
+    _backdate(store.lease_path(cell.key()), 120.0)
+    assert store.status_of(cell, lease_ttl=60.0) == "missing"
+    # Without one, any lease on disk counts as in flight.
+    assert store.status_of(cell) == "claimed"
+
+
+def test_artifact_wins_over_lease(tmp_path, spec, metrics):
+    """A lease is never a result: a stored artifact is cached even
+    while its (orphaned) lease is still on disk."""
+    store = ResultStore(tmp_path)
+    cell = spec.expanded()[0]
+    store.claim(cell, "alice:1", ttl=60.0)
+    store.put(cell, metrics)
+    assert store.status_of(cell) == "cached"
+
+
+def test_refresh_manifest_prunes_orphan_leases(tmp_path, spec, metrics):
+    store = ResultStore(tmp_path)
+    cells = spec.expanded()
+    # Worker died after writing the artifact but before releasing.
+    store.put(cells[0], metrics)
+    store.claim(cells[0], "dead:1", ttl=60.0)
+    # Worker died before writing anything: lease must survive as
+    # reclaimable work, never become a result.
+    store.claim(cells[1], "dead:1", ttl=60.0)
+    healed = store.refresh_manifest(cells)
+    assert store.lease_of(cells[0]) is None  # pruned: artifact exists
+    assert store.lease_of(cells[1]).owner == "dead:1"  # kept: no artifact
+    assert healed[cells[0].key()]["status"] == "cached"
+    assert cells[1].key() not in healed
+
+
+def test_active_leases_lists_every_owner(tmp_path, spec):
+    store = ResultStore(tmp_path)
+    assert store.active_leases() == []
+    a, b = spec.expanded()[:2]
+    store.claim(a, "alice:1", ttl=60.0)
+    store.claim(b, "bob:2", ttl=60.0)
+    owners = sorted(lease.owner for lease in store.active_leases())
+    assert owners == ["alice:1", "bob:2"]
+
+
+def test_durable_write_leaves_no_tmp_files(tmp_path, spec, metrics):
+    store = ResultStore(tmp_path)
+    cell = spec.expanded()[0]
+    store.put(cell, metrics)
+    strays = [p for p in tmp_path.rglob("*") if ".tmp" in p.name]
+    assert strays == []

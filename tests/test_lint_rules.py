@@ -185,14 +185,20 @@ def test_layering_fires_on_restricted_imports(tmp_path):
         {
             "repro/cloud/bad.py": "from repro.sim.fluid import FluidSimulator\n",
             "repro/metrics/bad.py": "import repro.campaigns\n",
+            # The scheduler split must not open a hole: the campaign
+            # engine's submodules are just as restricted as the package.
+            "repro/experiments/bad.py": (
+                "from repro.campaigns.scheduler import run_campaign\n"
+            ),
             "repro/workloads/bad.py": "import repro.lint\n",
         },
         rules=["layering"],
     )
     messages = [f.message for f in by_rule(result, "layering")]
-    assert len(messages) == 3
+    assert len(messages) == 4
     assert any("may import repro.sim.fluid" in m for m in messages)
     assert any("may import repro.campaigns" in m for m in messages)
+    assert any("repro.experiments.bad imports repro.campaigns.scheduler" in m for m in messages)
     assert any("may import repro.lint" in m for m in messages)
 
 
@@ -207,6 +213,12 @@ def test_layering_exemptions_stay_clean(tmp_path):
             # The owner package may import the restricted engine.
             "repro/backends/ok.py": (
                 "from repro.sim.fluid import FluidSimulator\n"
+            ),
+            # The campaign package may import its own submodules — the
+            # scheduler/executor/store split is internal layering.
+            "repro/campaigns/scheduler.py": (
+                "from repro.campaigns.store import ResultStore\n"
+                "from repro.campaigns import executor\n"
             ),
             # Function-local imports are deliberate late bindings.
             "repro/queueing/ok.py": """

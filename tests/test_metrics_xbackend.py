@@ -295,6 +295,9 @@ def test_lookup_gate_reads_both_baseline_shapes():
     uniform = {"gates": {"engine_event_throughput_50k": {"seconds": 0.02}}}
     assert lookup_gate(uniform, "engine_event_throughput_50k") == 0.02
     assert lookup_gate({}, "engine_event_throughput_50k") is None
+    # PR8 lease-scheduler gate rides the uniform shape only.
+    pr8 = {"gates": {"shard_orchestration_overhead": {"seconds": 1.02}}}
+    assert lookup_gate(pr8, "shard_orchestration_overhead") == 1.02
 
 
 def test_gate_result_regression_logic():
