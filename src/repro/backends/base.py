@@ -108,6 +108,17 @@ class RunMetrics:
         :class:`~repro.obs.metrics.MetricsConfig`; empty otherwise.
         Excluded from equality like ``profile`` so metrics-on and
         metrics-off replications of the same run still compare equal.
+    revenue, cost, penalty, profit:
+        :class:`~repro.economy.ledger.ProfitLedger` end-of-run billing
+        (all 0 when the scenario has no pricing model).  ``profit`` is
+        always ``revenue - cost - penalty``.
+    spot_vm_hours:
+        VM hours billed at the discounted spot rate (0 without a
+        :class:`~repro.economy.policies.SpotPolicy`).
+    revocations:
+        Spot instances reclaimed by the provider during the run
+        (distinct from :attr:`failures`, which counts fault-injector
+        crashes).
     """
 
     scenario: str
@@ -136,8 +147,30 @@ class RunMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     compactions: int = 0
+    revenue: float = 0.0
+    cost: float = 0.0
+    penalty: float = 0.0
+    profit: float = 0.0
+    spot_vm_hours: float = 0.0
+    revocations: int = 0
     profile: Dict[str, Dict[str, float]] = field(default_factory=dict, compare=False)
     telemetry: Dict[str, object] = field(default_factory=dict, compare=False)
+
+    @property
+    def qos_attainment(self) -> float:
+        """``P[T <= Ts]`` over all submitted requests.
+
+        The paper's QoS objective: the fraction of *arrivals* served
+        within ``T_s``.  Rejected and lost requests never complete, so
+        they count against attainment — a policy that trims the fleet
+        and sheds load pays for it here, which is exactly the
+        profit-vs-QoS tension the economy campaign tabulates.  1.0 when
+        the run saw no demand.
+        """
+        if self.total_requests <= 0:
+            return 1.0
+        met = max(0.0, self.completed - self.qos_violations)
+        return min(1.0, met / self.total_requests)
 
 
 @runtime_checkable

@@ -24,6 +24,7 @@ from ..cloud.loadbalancer import LoadBalancer
 from ..cloud.monitor import Monitor
 from ..core.context import SimulationContext
 from ..core.policies import ProvisioningPolicy
+from ..economy.ledger import ProfitLedger
 from ..metrics.collector import MetricsCollector
 from ..obs.bus import TraceBus, TraceConfig
 from ..obs.metrics import MetricsConfig, RunTelemetry
@@ -147,6 +148,52 @@ def _build_telemetry(
     )
 
 
+def _build_ledger(
+    scenario: "ScenarioConfig",
+    policy: ProvisioningPolicy,
+    ctx: SimulationContext,
+    tracer: Optional[TraceBus],
+    registry,
+) -> Optional[ProfitLedger]:
+    """One :class:`ProfitLedger` wired to a built DES context.
+
+    ``None`` when the scenario carries no pricing model — economics is
+    strictly opt-in, so priced and unpriced runs differ only by the
+    extra low-priority accounting tick.  Shared by the scalar and
+    vectorized DES backends so both bill at the identical cadence.
+    """
+    if scenario.pricing is None:
+        return None
+    return ProfitLedger(
+        scenario.pricing,
+        interval=scenario.update_interval,
+        cores_per_vm=float(ctx.fleet.vm_spec.cores),
+        spot_fraction=float(getattr(policy, "spot_fraction", 0.0)),
+        collector=ctx.metrics,
+        vm_hours_fn=ctx.datacenter.vm_hours,
+        tracer=tracer,
+        registry=registry,
+    )
+
+
+def _finalize_ledger(ledger: Optional[ProfitLedger], ctx, now: float) -> dict:
+    """Close the ledger and return the economy RunMetrics kwargs."""
+    if ledger is None:
+        return {}
+    revoker = getattr(ctx, "revoker", None)
+    totals = ledger.finalize(
+        now, revocations=revoker.revocations if revoker is not None else 0
+    )
+    return dict(
+        revenue=totals.revenue,
+        cost=totals.cost,
+        penalty=totals.penalty,
+        profit=totals.profit,
+        spot_vm_hours=totals.spot_vm_hours,
+        revocations=totals.revocations,
+    )
+
+
 class DESBackend:
     """Event-per-request execution of one replication."""
 
@@ -212,6 +259,9 @@ class DESBackend:
                     registry=registry,
                 )
                 policy.attach(ctx)
+                ledger = _build_ledger(scenario, policy, ctx, tracer, registry)
+                if ledger is not None:
+                    ledger.install(ctx.engine)
                 telemetry = (
                     _build_telemetry(metrics, registry, scenario, ctx, tracer)
                     if metrics is not None
@@ -240,6 +290,7 @@ class DESBackend:
                 cache_misses = modeler.cache_misses if modeler is not None else 0
                 control = getattr(ctx.provisioner, "control", None)
                 control_series = control.trajectory if control is not None else ()
+                economy = _finalize_ledger(ledger, ctx, now)
                 telemetry_dict: dict = {}
                 if telemetry is not None:
                     telemetry_dict = telemetry.finalize(
@@ -295,6 +346,7 @@ class DESBackend:
                 compactions=ctx.engine.compactions,
                 profile=profile.to_dict(),
                 telemetry=telemetry_dict,
+                **economy,
             )
         finally:
             if telemetry is not None:

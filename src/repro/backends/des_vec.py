@@ -37,7 +37,7 @@ from ..obs.profile import RunProfile, Stopwatch
 from ..sim.engine import Engine
 from ..sim.rng import RandomStreams
 from .base import RunMetrics
-from .des import _build_telemetry
+from .des import _build_ledger, _build_telemetry, _finalize_ledger
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only for annotations
     from ..experiments.scenario import ScenarioConfig
@@ -194,6 +194,9 @@ class DESVecBackend:
                     registry=registry,
                 )
                 policy.attach(ctx)
+                ledger = _build_ledger(scenario, policy, ctx, tracer, registry)
+                if ledger is not None:
+                    ledger.install(ctx.engine)
                 telemetry = (
                     _build_telemetry(metrics, registry, scenario, ctx, tracer)
                     if metrics is not None
@@ -234,6 +237,7 @@ class DESVecBackend:
                 cache_misses = modeler.cache_misses if modeler is not None else 0
                 control = getattr(ctx.provisioner, "control", None)
                 control_series = control.trajectory if control is not None else ()
+                economy = _finalize_ledger(ledger, ctx, now)
                 telemetry_dict: dict = {}
                 if telemetry is not None:
                     telemetry_dict = telemetry.finalize(
@@ -299,6 +303,7 @@ class DESVecBackend:
                 compactions=ctx.engine.compactions,
                 profile=profile.to_dict(),
                 telemetry=telemetry_dict,
+                **economy,
             )
         finally:
             if telemetry is not None:

@@ -22,11 +22,13 @@ from typing import TYPE_CHECKING, Optional, Union
 from ..cloud.datacenter import Datacenter
 from ..cloud.vm import DEFAULT_VM_SPEC
 from ..core.policies import AdaptivePolicy, ProvisioningPolicy, StaticPolicy
+from ..economy.ledger import EconomyTotals, publish_totals
 from ..errors import ConfigurationError
 from ..obs.bus import TraceBus, TraceConfig
 from ..obs.metrics import MetricsConfig, RunTelemetry
 from ..obs.profile import RunProfile, Stopwatch
 from ..sim.fluid import FluidSimulator
+from ..sim.rng import RandomStreams
 from .base import RunMetrics
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only for annotations
@@ -148,10 +150,23 @@ class FluidBackend:
                             metrics.resolve_path(scenario.name, policy.name, seed)
                         )
             watch = Stopwatch()
+            # Spot policies revoke on the same seeded stream the DES
+            # draws from, so the fluid run sees the DES's schedule; this
+            # is the one place the "deterministic" backend reads a seed.
+            revocation_times: tuple = ()
+            schedule_fn = getattr(policy, "revocation_schedule", None)
+            if schedule_fn is not None and scenario.pricing is not None:
+                revocation_times = tuple(
+                    schedule_fn(RandomStreams(seed), scenario.horizon)
+                )
             with profile.phase("run"):
                 if control is not None:
                     agg = sim.run_adaptive(
-                        control, scenario.horizon, tracer=tracer, telemetry=telemetry
+                        control,
+                        scenario.horizon,
+                        tracer=tracer,
+                        telemetry=telemetry,
+                        interventions=revocation_times,
                     )
                 else:
                     agg = sim.run_static(
@@ -168,6 +183,35 @@ class FluidBackend:
                 control_series = (
                     control.trajectory if control is not None else agg.fleet_series
                 )
+                economy: dict = {}
+                if scenario.pricing is not None:
+                    # No per-request distribution on the fluid backend →
+                    # no QoS-violating intervals, so the penalty is 0 by
+                    # construction (documented in docs/economy.md).
+                    totals = EconomyTotals.from_aggregates(
+                        scenario.pricing,
+                        completed=agg.accepted,
+                        core_hours=agg.vm_hours * DEFAULT_VM_SPEC.cores,
+                        vm_hours=agg.vm_hours,
+                        spot_fraction=float(getattr(policy, "spot_fraction", 0.0)),
+                        violating_intervals=0,
+                        revocations=len(revocation_times),
+                    )
+                    publish_totals(
+                        totals,
+                        scenario.horizon,
+                        violating_intervals=0,
+                        tracer=tracer,
+                        registry=registry,
+                    )
+                    economy = dict(
+                        revenue=totals.revenue,
+                        cost=totals.cost,
+                        penalty=totals.penalty,
+                        profit=totals.profit,
+                        spot_vm_hours=totals.spot_vm_hours,
+                        revocations=totals.revocations,
+                    )
                 telemetry_dict: dict = {}
                 if telemetry is not None:
                     telemetry_dict = telemetry.finalize(
@@ -222,6 +266,7 @@ class FluidBackend:
                 compactions=0,
                 profile=profile.to_dict(),
                 telemetry=telemetry_dict,
+                **economy,
             )
         finally:
             if telemetry is not None:

@@ -34,6 +34,12 @@ from .store import ResultStore
 
 __all__ = ["campaign_agg", "campaign_report", "campaign_status_rows"]
 
+#: The campaign table extends the Figure-5/6 panel columns with the
+#: paper-style QoS-attainment and economy objectives.  A separate tuple
+#: (not _PANEL_FIELDS itself) because the figure writers keep the
+#: original panel layout.
+_REPORT_FIELDS: Tuple[str, ...] = _PANEL_FIELDS + ("qos_attainment", "profit")
+
 
 def _grouped(cells: List[Cell]) -> List[Tuple[Tuple, List[Cell]]]:
     groups: Dict[Tuple, List[Cell]] = {}
@@ -72,6 +78,8 @@ def campaign_report(
         "avg Tr (s)",
         "std Tr (s)",
         "QoS violations",
+        "P[T<=Ts]",
+        "profit",
     ]
     rows: List[List[object]] = []
     raw_results: Dict[str, List[RunMetrics]] = {}
@@ -87,9 +95,9 @@ def campaign_report(
             f"{len(results)}/{len(members)}",
         ]
         if results:
-            rows.append(prefix + summary_cells(results, _PANEL_FIELDS, ci=ci))
+            rows.append(prefix + summary_cells(results, _REPORT_FIELDS, ci=ci))
         else:
-            rows.append(prefix + ["-"] * len(_PANEL_FIELDS))
+            rows.append(prefix + ["-"] * len(_REPORT_FIELDS))
     return FigureData(
         experiment_id=f"campaign-{spec.name}" + ("-quick" if quick else ""),
         title=f"Campaign report: {spec.name}"

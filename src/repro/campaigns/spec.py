@@ -34,6 +34,8 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..backends.base import BACKENDS
 from ..core.policies import AdaptivePolicy, StaticPolicy
+from ..economy.policies import ProfitPolicy, SpotPolicy
+from ..economy.pricing import PricingModel
 from ..errors import ConfigurationError
 from ..experiments.parallel import PolicySpec
 from ..experiments.scenario import ScenarioConfig, scientific_scenario, web_scenario
@@ -81,26 +83,45 @@ def _normalize_horizon(value: Any) -> float:
     return float(value)
 
 
+def _parse_suffixed(norm: str, stem: str) -> Optional[int]:
+    """``"<stem>-N"`` / ``"<stem>:N"`` → N, else ``None``."""
+    for sep in ("-", ":"):
+        prefix = f"{stem}{sep}"
+        if norm.startswith(prefix):
+            try:
+                return int(norm[len(prefix):])
+            except ValueError:
+                return None
+    return None
+
+
 def _policy_factory(policy: str) -> Tuple[str, Callable[[], Any]]:
     """``(label, picklable factory)`` for one policy string.
 
-    ``"adaptive"`` builds the paper's mechanism with the *scenario's*
-    analyzer cadence filled in by the caller; ``"static-N"`` (or
-    ``"static:N"``) a fixed fleet of N.
+    ``"adaptive"`` builds the paper's mechanism and ``"profit"`` the
+    profit-maximizing ``m*`` variant, both with the *scenario's*
+    analyzer cadence filled in by the caller; ``"spot-N"`` (or
+    ``"spot:N"``) runs N % of capacity as revocable spot;
+    ``"static-N"`` a fixed fleet of N.
     """
     norm = policy.strip().lower()
     if norm == "adaptive":
         return "Adaptive", PolicySpec(AdaptivePolicy)
-    for sep in ("-", ":"):
-        prefix = f"static{sep}"
-        if norm.startswith(prefix):
-            try:
-                n = int(norm[len(prefix):])
-            except ValueError:
-                break
-            return f"Static-{n}", PolicySpec(StaticPolicy, n)
+    if norm == "profit":
+        return "Profit", PolicySpec(ProfitPolicy)
+    n = _parse_suffixed(norm, "static")
+    if n is not None:
+        return f"Static-{n}", PolicySpec(StaticPolicy, n)
+    n = _parse_suffixed(norm, "spot")
+    if n is not None:
+        if not 0 < n < 100:
+            raise ConfigurationError(
+                f"spot percentage must be in (0, 100), got {policy!r}"
+            )
+        return f"Spot-{n}", PolicySpec(SpotPolicy, n / 100.0)
     raise ConfigurationError(
-        f"unknown policy {policy!r}; expected 'adaptive' or 'static-N'"
+        f"unknown policy {policy!r}; expected 'adaptive', 'profit', "
+        "'spot-N', or 'static-N'"
     )
 
 
@@ -168,6 +189,11 @@ class Cell:
 
     def scenario_label(self) -> str:
         params = dict(self.params)
+        custom = params.get("name")
+        if custom:
+            # A block-level ``name`` override (e.g. two pricing regimes
+            # of the same scenario) labels the rows unambiguously.
+            return str(custom)
         scale = params.get("scale", 1.0)
         suffix = f"@1/{scale:g}" if scale not in (None, 1.0) else ""
         return f"{self.scenario}{suffix}"
@@ -192,6 +218,20 @@ class Cell:
                 update_interval=scenario.update_interval,
                 lead_time=scenario.lead_time,
             )
+        if label == "Profit" or label.startswith("Spot-"):
+            # Economy policies additionally inherit the scenario's
+            # pricing model, so the policy's cost terms and the run's
+            # ledger bill against the same contract.
+            scenario = self.build_scenario()
+            kwargs = dict(
+                update_interval=scenario.update_interval,
+                lead_time=scenario.lead_time,
+                pricing=scenario.pricing,
+            )
+            if label == "Profit":
+                return PolicySpec(ProfitPolicy, **kwargs)
+            fraction = int(label.split("-", 1)[1]) / 100.0
+            return PolicySpec(SpotPolicy, fraction, **kwargs)
         return factory
 
 
@@ -249,6 +289,17 @@ class ScenarioGrid:
 def _freeze_params(raw: Mapping[str, Any], *, where: str) -> Tuple[Tuple[str, Any], ...]:
     params: Dict[str, Any] = {}
     for name, value in raw.items():
+        if name == "pricing":
+            # The one structured parameter: a pricing table, frozen to
+            # the model's canonical sorted pair-tuple so it stays
+            # hashable and feeds the cell hash deterministically.
+            # ScenarioConfig coerces the tuple back into a model.
+            if not isinstance(value, Mapping):
+                raise ConfigurationError(
+                    f"{where}: 'pricing' must be a table, got {value!r}"
+                )
+            params[name] = PricingModel.coerce(value).as_tuple()
+            continue
         if name == "horizon":
             value = _normalize_horizon(value)
         elif isinstance(value, bool):

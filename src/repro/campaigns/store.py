@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -405,6 +406,14 @@ class ResultStore:
                 except OSError:
                     continue  # holder released between EXCL and stat
                 if age > _LOCK_TTL or waited > _LOCK_TTL:
+                    # Name the store so an operator staring at a stuck
+                    # `status --require-complete` / `agg --follow` can
+                    # tell *which* store's holder died mid-update.
+                    print(
+                        f"warning: breaking stale manifest lock in {self.root} "
+                        f"(lock age {age:.1f}s, waited {waited:.1f}s)",
+                        file=sys.stderr,
+                    )
                     try:
                         lock.unlink()
                     except OSError:  # pragma: no cover - racing breakers

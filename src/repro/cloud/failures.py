@@ -48,6 +48,9 @@ class FailureInjector:
         Explicit crash times (for reproducible scenario scripting).
     horizon:
         No failures are injected at or beyond this time.
+    reason:
+        The ``vm.destroyed`` reason tag each kill carries — subclasses
+        injecting *revocations* rather than faults override it.
     """
 
     def __init__(
@@ -58,6 +61,7 @@ class FailureInjector:
         mtbf: Optional[float] = None,
         schedule: Optional[Sequence[float]] = None,
         horizon: float = math.inf,
+        reason: str = "crashed",
     ) -> None:
         if (mtbf is None) == (schedule is None):
             raise ConfigurationError("provide exactly one of mtbf or schedule")
@@ -68,6 +72,7 @@ class FailureInjector:
         self._rng = rng
         self.mtbf = mtbf
         self.horizon = float(horizon)
+        self.reason = reason
         self._schedule = sorted(schedule) if schedule is not None else None
         #: Times at which a crash actually destroyed an instance.
         self.crash_log: List[float] = []
@@ -91,13 +96,18 @@ class FailureInjector:
         self._crash()
         self._schedule_next()
 
-    def _crash(self) -> None:
+    def _pick_victim(self, victims):
+        """Choose which live instance dies (default: uniformly random)."""
+        return victims[int(self._rng.integers(len(victims)))]
+
+    def _crash(self):
         victims = self._fleet.live_instances
         if not victims:
-            return
-        victim = victims[int(self._rng.integers(len(victims)))]
-        self._fleet.kill(victim)
+            return None
+        victim = self._pick_victim(victims)
+        lost = self._fleet.kill(victim, reason=self.reason)
         self.crash_log.append(self._engine.now)
+        return victim, lost
 
     @property
     def failures(self) -> int:

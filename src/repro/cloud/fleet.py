@@ -314,11 +314,13 @@ class ApplicationFleet:
         inst.speed = float(speed)
         return True
 
-    def kill(self, inst: AppInstance) -> int:
-        """Crash ``inst`` (failure injection); returns requests lost.
+    def kill(self, inst: AppInstance, reason: str = "crashed") -> int:
+        """Crash ``inst`` (failure/revocation injection); returns requests lost.
 
         Unlike a drain, the instance's queued and in-service requests
         die with it; they are recorded as losses, not rejections.
+        ``reason`` tags the ``vm.destroyed`` trace event (``"crashed"``
+        for faults, ``"revoked"`` for spot reclamation).
         """
         if inst.state is InstanceState.DESTROYED:
             return 0
@@ -328,7 +330,7 @@ class ApplicationFleet:
                 break
         lost = inst.crash()
         self._datacenter.destroy_vm(inst.vm, self._engine.now)
-        self._emit_vm("vm.destroyed", inst, reason="crashed", lost=lost)
+        self._emit_vm("vm.destroyed", inst, reason=reason, lost=lost)
         self._metrics.record_loss(lost)
         self._after_membership_change()
         return lost

@@ -268,6 +268,41 @@ class VectorFleet:
         self._datacenter.destroy_vm(self._vms.pop(idx), t)
         self._emit_vm("vm.destroyed", idx, t=t, reason=reason)
 
+    @property
+    def live_instances(self) -> List[int]:
+        """Every non-destroyed station index (a fresh list).
+
+        Scalar-fleet parity surface for the failure/revocation
+        injectors: station indices are allocated monotonically and
+        never reused, so index order *is* creation order — the same
+        ordering the scalar fleet's ``instance_id`` carries.
+        """
+        return self._active + self._booting + self._draining
+
+    def kill(self, idx: int, reason: str = "crashed") -> int:
+        """Crash one station (failure/revocation); returns requests lost.
+
+        Mirrors :meth:`ApplicationFleet.kill` exactly: queued and
+        in-service requests die with the station and are recorded as
+        losses, not rejections.  The injector fires at
+        ``PRIORITY_HIGH``, i.e. after the epoch loop's strict drain up
+        to *now* — so a request that would complete at the kill instant
+        is still aboard and is lost, matching the scalar engine's
+        event ordering (kill cancels the pending completion).
+        """
+        for bucket in (self._active, self._booting, self._draining):
+            if idx in bucket:
+                bucket.remove(idx)
+                break
+        else:
+            return 0  # already destroyed
+        lost = self._soa.clear(idx)
+        self._datacenter.destroy_vm(self._vms.pop(idx), self._engine.now)
+        self._emit_vm("vm.destroyed", idx, reason=reason, lost=lost)
+        self._metrics.record_loss(lost)
+        self._after_membership_change()
+        return lost
+
     def _after_membership_change(self) -> None:
         n = len(self._active)
         self._rr = self._rr % n if n else 0

@@ -1,0 +1,40 @@
+"""Economics subsystem — pricing, profit accounting, and profit-aware policies.
+
+The paper answers "how many VMs keep QoS?"; this package answers "what
+does that fleet *earn*?".  It layers strictly between the execution
+substrates (``repro.cloud`` / ``repro.sim`` / ``repro.core``) and the
+backends: backends and campaigns import it, it never imports them.
+
+* :class:`PricingModel` — the economic contract (per-request revenue,
+  on-demand and spot core-hour costs, SLA penalties), configurable from
+  scenario and campaign TOML.
+* :class:`ProfitLedger` / :class:`EconomyTotals` — deterministic,
+  merge-associative per-interval and end-of-run profit accounting over
+  counters the simulation already keeps.
+* :class:`ProfitPolicy` / :class:`SpotPolicy` — profit-maximizing
+  ``m*`` search and the on-demand/spot split, both as
+  :class:`~repro.core.policies.AdaptivePolicy` subclasses so all three
+  backends execute them through the shared control plane.
+* :class:`RevocationInjector` — deterministic spot reclamation built on
+  :class:`~repro.cloud.failures.FailureInjector`.
+
+See ``docs/economy.md`` for the model, the ``m*`` derivation sketch,
+and the TOML reference.
+"""
+
+from .ledger import EconomyTotals, IntervalRecord, ProfitLedger, publish_totals
+from .policies import ProfitModeler, ProfitPolicy, SpotPolicy
+from .pricing import PricingModel
+from .revocation import RevocationInjector
+
+__all__ = [
+    "EconomyTotals",
+    "IntervalRecord",
+    "PricingModel",
+    "ProfitLedger",
+    "ProfitModeler",
+    "ProfitPolicy",
+    "RevocationInjector",
+    "SpotPolicy",
+    "publish_totals",
+]

@@ -1,0 +1,154 @@
+"""Pricing model — the economic contract a provisioning run is judged by.
+
+The paper sizes fleets purely against the QoS target; this module adds
+the missing half of the Mazzucco et al. "Squeezing out the Cloud"
+question: what does a fleet *earn*?  A :class:`PricingModel` carries the
+four knobs of a simple cloud-economics contract:
+
+* ``revenue_per_request`` — income earned per *completed* request;
+* ``cost_per_core_hour`` — on-demand price of one core for one hour;
+* ``spot_cost_factor`` — discount multiplier for revocable ("spot")
+  capacity (0.3 = spot core-hours cost 30 % of on-demand);
+* ``sla_penalty`` — flat fine charged per accounting interval whose
+  QoS-violation fraction exceeds ``sla_tolerance``.
+
+``spot_mtbf`` is not a price: it parameterizes the *reliability* of the
+discounted capacity — the mean time between revocation events injected
+by :class:`~repro.economy.revocation.RevocationInjector` when a
+spot-split policy runs.
+
+Instances are frozen, hashable, and round-trip through the sorted
+``(name, value)`` tuple form campaign specs use as hash material
+(:meth:`as_tuple` / :meth:`coerce`), so a pricing table participates in
+the content-addressed cell key like any other scenario parameter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Any, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+
+__all__ = ["PricingModel"]
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Economic parameters of one provisioning run.
+
+    Attributes
+    ----------
+    revenue_per_request:
+        Income per completed request (currency units).
+    cost_per_core_hour:
+        On-demand cost of one core-hour.
+    spot_cost_factor:
+        Spot core-hours are billed at this fraction of the on-demand
+        price (must be in ``(0, 1]``).
+    sla_penalty:
+        Fine per accounting interval whose violation fraction exceeds
+        ``sla_tolerance``.
+    sla_tolerance:
+        Fraction of an interval's completions allowed to miss ``Ts``
+        before the interval counts as violating.
+    spot_mtbf:
+        Mean seconds between spot revocation events (exponential
+        inter-event times drawn from the run's seeded
+        ``"economy.revocation"`` stream).
+    """
+
+    revenue_per_request: float = 0.0005
+    cost_per_core_hour: float = 0.08
+    spot_cost_factor: float = 0.3
+    sla_penalty: float = 0.0
+    sla_tolerance: float = 0.01
+    spot_mtbf: float = 14400.0
+
+    def __post_init__(self) -> None:
+        for name in ("revenue_per_request", "cost_per_core_hour", "sla_penalty"):
+            value = getattr(self, name)
+            if not (isinstance(value, (int, float)) and math.isfinite(value) and value >= 0.0):
+                raise ConfigurationError(
+                    f"pricing: {name} must be a finite number >= 0, got {value!r}"
+                )
+        if not 0.0 < self.spot_cost_factor <= 1.0:
+            raise ConfigurationError(
+                f"pricing: spot_cost_factor must be in (0, 1], got {self.spot_cost_factor!r}"
+            )
+        if not 0.0 <= self.sla_tolerance <= 1.0:
+            raise ConfigurationError(
+                f"pricing: sla_tolerance must be in [0, 1], got {self.sla_tolerance!r}"
+            )
+        if not (math.isfinite(self.spot_mtbf) and self.spot_mtbf > 0.0):
+            raise ConfigurationError(
+                f"pricing: spot_mtbf must be finite and > 0 seconds, got {self.spot_mtbf!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Canonical forms (campaign hash material / TOML round-trip)
+    # ------------------------------------------------------------------
+    def as_tuple(self) -> Tuple[Tuple[str, float], ...]:
+        """Sorted ``(name, value)`` pairs — hashable spec/key material."""
+        return tuple(sorted((f.name, float(getattr(self, f.name))) for f in fields(self)))
+
+    @classmethod
+    def coerce(
+        cls, value: Union["PricingModel", Mapping[str, Any], Sequence, None]
+    ) -> Optional["PricingModel"]:
+        """Build a model from any of its accepted spellings.
+
+        Accepts ``None`` (pricing off), an existing model, a mapping
+        (the TOML ``pricing`` table), or the frozen pair-tuple form a
+        campaign cell carries.  Unknown keys raise so a typo in a spec
+        fails at load time, not silently prices at defaults.
+        """
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            items = dict(value)
+        else:
+            try:
+                items = {str(k): v for k, v in value}
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"pricing must be a table of numbers, got {value!r}"
+                )
+        known = {f.name for f in fields(cls)}
+        unknown = set(items) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown pricing keys {sorted(unknown)}; expected a subset "
+                f"of {sorted(known)}"
+            )
+        for name, v in items.items():
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                raise ConfigurationError(
+                    f"pricing: {name} must be a number, got {v!r}"
+                )
+        return cls(**{k: float(v) for k, v in items.items()})
+
+    # ------------------------------------------------------------------
+    # Accounting arithmetic (shared by the ledger and the fluid backend)
+    # ------------------------------------------------------------------
+    def revenue(self, completed: float) -> float:
+        """Income from ``completed`` served requests."""
+        return self.revenue_per_request * float(completed)
+
+    def capacity_cost(self, core_hours: float, spot_core_hours: float = 0.0) -> float:
+        """Blended capacity bill: on-demand hours plus discounted spot hours.
+
+        ``spot_core_hours`` must already be contained in ``core_hours``;
+        the spot share is re-billed at ``spot_cost_factor``.
+        """
+        on_demand = max(0.0, float(core_hours) - float(spot_core_hours))
+        return self.cost_per_core_hour * (
+            on_demand + self.spot_cost_factor * float(spot_core_hours)
+        )
+
+    def interval_violates(self, completed: float, violations: float) -> bool:
+        """Does one interval's violation fraction exceed the tolerance?"""
+        if completed <= 0:
+            return False
+        return float(violations) > self.sla_tolerance * float(completed)

@@ -1,0 +1,73 @@
+"""Spot revocation — deterministic reclamation of revocable capacity.
+
+A :class:`RevocationInjector` is a :class:`~repro.cloud.failures.
+FailureInjector` with two deliberate differences:
+
+* the victim is **deterministic** — the *newest* live instance dies
+  (max ``instance_id`` on the scalar fleet, max station index on the
+  vector fleet; both number instances in creation order), modeling a
+  provider reclaiming the most recently granted spot capacity and,
+  crucially, keeping the kill sequence bit-identical between ``des``
+  and ``des-vec`` without consuming any randomness at kill time;
+* kills are tagged ``reason="revoked"`` and emit an
+  ``economy.revocation`` trace event carrying the victim and the
+  number of requests lost with it.
+
+Randomness lives entirely in the *schedule* (drawn up front by
+:meth:`~repro.economy.policies.SpotPolicy.revocation_schedule` from the
+run's seeded ``"economy.revocation"`` stream), never in the injector.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..cloud.failures import FailureInjector
+
+__all__ = ["RevocationInjector"]
+
+
+class RevocationInjector(FailureInjector):
+    """Kills the newest live instance at each scheduled revocation time."""
+
+    def __init__(
+        self,
+        engine,
+        fleet,
+        schedule: Sequence[float],
+        horizon: float = math.inf,
+        tracer=None,
+    ) -> None:
+        # rng=None is safe: schedule mode never draws, and the victim
+        # choice below is deterministic.
+        super().__init__(
+            engine,
+            fleet,
+            rng=None,
+            schedule=schedule,
+            horizon=horizon,
+            reason="revoked",
+        )
+        self._tracer = tracer
+
+    def _pick_victim(self, victims):
+        """The newest live instance: provider reclaims last-granted capacity."""
+        return max(victims, key=lambda v: getattr(v, "instance_id", v))
+
+    def _crash(self):
+        outcome = super()._crash()
+        if outcome is not None and self._tracer is not None:
+            victim, lost = outcome
+            self._tracer.emit(
+                "economy.revocation",
+                self._engine.now,
+                instance=int(getattr(victim, "instance_id", victim)),
+                lost=int(lost),
+            )
+        return outcome
+
+    @property
+    def revocations(self) -> int:
+        """Number of instances actually revoked."""
+        return len(self.crash_log)

@@ -126,11 +126,17 @@ def _measure_shard_orchestration_overhead() -> float:
     return shard_overhead()["overhead_ratio"]
 
 
+def _measure_profit_policy_overhead() -> float:
+    from .bench import profit_policy_overhead
+
+    return profit_policy_overhead()["overhead_ratio"]
+
+
 #: The comparable gates, in report order.  Values compared are seconds
-#: (lower is better) except ``metrics_overhead_ratio`` and
-#: ``shard_orchestration_overhead``, which are on/off wall-clock ratios
-#: — dimensionless, but "lower is better" still holds, so the same
-#: tolerance logic applies.
+#: (lower is better) except ``metrics_overhead_ratio``,
+#: ``shard_orchestration_overhead``, and ``profit_policy_overhead``,
+#: which are on/off wall-clock ratios — dimensionless, but "lower is
+#: better" still holds, so the same tolerance logic applies.
 BENCH_GATES: Dict[str, Gate] = {
     "engine_event_throughput_50k": Gate(
         _measure_engine_50k,
@@ -180,6 +186,10 @@ BENCH_GATES: Dict[str, Gate] = {
         _measure_shard_orchestration_overhead,
         ("gates.shard_orchestration_overhead.seconds",),
         slow=True,
+    ),
+    "profit_policy_overhead": Gate(
+        _measure_profit_policy_overhead,
+        ("gates.profit_policy_overhead.seconds",),
     ),
 }
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..core.qos import QoSTarget
+from ..economy.pricing import PricingModel
 from ..errors import ConfigurationError
 from ..sim.calendar import SECONDS_PER_DAY, SECONDS_PER_WEEK
 from ..workloads.base import Workload
@@ -59,6 +60,11 @@ class ScenarioConfig:
         Whether admission reports every arrival to the monitor.
     track_fleet_series:
         Record the full fleet-size trajectory (costs memory).
+    pricing:
+        Optional :class:`~repro.economy.pricing.PricingModel` enabling
+        profit accounting for the run (``None`` = economics off).
+        Accepts a model, a mapping, or the frozen pair-tuple form
+        campaign cells carry; coerced on construction.
     """
 
     name: str
@@ -75,12 +81,15 @@ class ScenarioConfig:
     rate_sample_interval: Optional[float] = None
     count_arrivals: bool = False
     track_fleet_series: bool = False
+    pricing: Optional[PricingModel] = None
 
     def __post_init__(self) -> None:
         if self.horizon <= 0.0 or not math.isfinite(self.horizon):
             raise ConfigurationError(f"horizon must be finite and > 0, got {self.horizon!r}")
         if self.scale <= 0.0:
             raise ConfigurationError(f"scale must be > 0, got {self.scale!r}")
+        if self.pricing is not None and not isinstance(self.pricing, PricingModel):
+            object.__setattr__(self, "pricing", PricingModel.coerce(self.pricing))
 
     @property
     def capacity(self) -> int:

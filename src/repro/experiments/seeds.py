@@ -27,7 +27,10 @@ def _parse_item(item: str) -> List[int]:
         lo_s, _, hi_s = item.partition("-")
         lo, hi = int(lo_s), int(hi_s)
         if hi < lo:
-            raise ConfigurationError(f"seed range {item!r} is empty ({hi} < {lo})")
+            raise ConfigurationError(
+                f"seed range {item!r} is empty ({hi} < {lo}); "
+                f"did you mean '{hi}-{lo}'?"
+            )
         return list(range(lo, hi + 1))
     return [int(item)]
 

@@ -13,7 +13,10 @@ lint, whose script now shims onto it:
    engines; no module outside it (or ``repro.sim`` itself) may import
    the fluid engine ``repro.sim.fluid``;
 3. ``repro.core`` (the control plane) never imports ``repro.backends``
-   or ``repro.experiments`` — it cannot know how it is executed;
+   or ``repro.experiments`` — it cannot know how it is executed; the
+   same holds for ``repro.economy``, which layers between the
+   substrates and the backends (backends/experiments/campaigns import
+   it, never the reverse);
 4. ``repro.campaigns`` (the orchestration layer) sits on top: nothing
    in the library imports it back — the CLI reaches it through a
    function-local import only;
@@ -42,6 +45,9 @@ FORBIDDEN = {
     "repro.prediction": ("repro.cloud", "repro.sim"),
     # The control plane cannot know how it is being executed.
     "repro.core": ("repro.backends", "repro.experiments"),
+    # The economics layer sits on the control plane and the substrates;
+    # execution and orchestration import it, never the reverse.
+    "repro.economy": ("repro.backends", "repro.experiments"),
 }
 
 #: Engine-free shared-vocabulary modules exempt from FORBIDDEN:

@@ -82,6 +82,12 @@ METRIC_NAMES: Dict[str, Tuple[str, str]] = {
     "fleet.target": ("gauge", "fleet size requested by the latest decision"),
     "batch.spans": ("counter", "non-empty epoch spans flushed by the vectorized data plane"),
     "batch.flushed_requests": ("counter", "arrivals + completions absorbed by vectorized span flushes"),
+    "economy.revenue": ("gauge", "income earned by completed requests (pricing units)"),
+    "economy.cost": ("gauge", "blended on-demand + spot capacity bill (pricing units)"),
+    "economy.penalty": ("gauge", "SLA fines over violating accounting intervals (pricing units)"),
+    "economy.profit": ("gauge", "revenue - cost - penalty of the run (pricing units)"),
+    "economy.spot_vm_hours": ("gauge", "VM-hours billed at the discounted spot rate"),
+    "economy.revocations": ("counter", "spot instances reclaimed by the revocation injector"),
 }
 
 

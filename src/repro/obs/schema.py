@@ -157,6 +157,29 @@ EVENT_TYPES: Dict[str, Dict[str, tuple]] = {
         "previous_owner": (str,),
     },
     "campaign.claim.released": {"key": (str,), "owner": (str,)},
+    # economy subsystem (repro.economy): one accounting interval of the
+    # profit ledger (deltas, not cumulatives; ``violating`` is the SLA
+    # penalty trigger), one spot-capacity reclamation, and the end-of-
+    # run billing summary
+    "economy.interval": {
+        "duration": _FLOAT,
+        "completed": (int,),
+        "rejected": (int,),
+        "violations": (int,),
+        "core_seconds": _FLOAT,
+        "spot_core_seconds": _FLOAT,
+        "violating": (bool,),
+    },
+    "economy.revocation": {"instance": (int,), "lost": (int,)},
+    "economy.summary": {
+        "revenue": _FLOAT,
+        "cost": _FLOAT,
+        "penalty": _FLOAT,
+        "profit": _FLOAT,
+        "spot_vm_hours": _FLOAT,
+        "revocations": (int,),
+        "violating_intervals": (int,),
+    },
 }
 
 #: The per-request event types — the only high-frequency ones.  CLI

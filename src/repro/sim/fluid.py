@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,6 +44,30 @@ from ..queueing.mm1k import MM1KQueue
 from ..workloads.base import Workload
 
 __all__ = ["FluidAggregates", "FluidSimulator"]
+
+
+def _apply_interventions(
+    m_changes: List[Tuple[float, int]],
+    interventions: Sequence[float],
+    horizon: float,
+) -> List[Tuple[float, int]]:
+    """Fold one-instance reclamations into a control trajectory.
+
+    Walks control actuations and intervention times in merged time
+    order; an actuation *sets* the fleet level, an intervention drops
+    it by one (floored at 1 — the fluid station count can't vanish).
+    Ties resolve actuation-first: reclaiming at the instant of a
+    scale-up takes the just-granted capacity.
+    """
+    events = [(t, 0, v) for t, v in m_changes]
+    events += [(float(t), 1, -1) for t in interventions if 0.0 <= t < horizon]
+    events.sort(key=lambda e: (e[0], e[1]))
+    merged: List[Tuple[float, int]] = []
+    current = max(1, m_changes[0][1])
+    for t, kind, v in events:
+        current = max(1, v) if kind == 0 else max(1, current - 1)
+        merged.append((t, current))
+    return merged
 
 
 @dataclass(frozen=True)
@@ -201,6 +225,7 @@ class FluidSimulator:
         horizon: float,
         tracer: Optional[object] = None,
         telemetry: Optional[object] = None,
+        interventions: Optional[Sequence[float]] = None,
     ) -> FluidAggregates:
         """Evaluate a self-driving control plane over ``[0, horizon)``.
 
@@ -210,6 +235,14 @@ class FluidSimulator:
         The engine walks the plane's own alert schedule — the exact
         cadence the DES analyzer follows — and integrates the flow
         under the resulting fleet trajectory.
+
+        ``interventions`` is an optional sequence of times at which one
+        instance is externally reclaimed (the fluid analogue of a spot
+        revocation): the fleet dips by one at each time and stays dipped
+        until the next control actuation restores the target — exactly
+        the DES semantics, where the adaptive provisioner repairs the
+        fleet at its next alert.  The control *trajectory* is untouched,
+        so cross-backend control comparisons remain bit-identical.
         """
         control.start()
         for alert in control.alert_times(horizon):
@@ -219,6 +252,8 @@ class FluidSimulator:
             # Every alert was skipped (predictor without history): the
             # initial fleet serves the whole horizon.
             m_changes = [(0.0, max(1, control.actuator.serving_count))]
+        if interventions:
+            m_changes = _apply_interventions(m_changes, interventions, horizon)
         # --- sample m(t) on the integration grid -------------------------
         times = np.arange(0.0, horizon, self.dt)
         change_times = np.array([t for t, _ in m_changes])

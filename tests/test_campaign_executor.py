@@ -192,4 +192,4 @@ def test_report_and_status_cover_incomplete_grids(tmp_path):
     assert len(rows) == 6
     data = campaign_report(spec, store)
     assert [r[3] for r in data.rows] == ["3/3", "0/3"]
-    assert data.rows[1][4:] == ["-"] * 8
+    assert data.rows[1][4:] == ["-"] * 10
