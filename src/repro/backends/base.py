@@ -10,7 +10,7 @@ fan-out, persistence, figures, the CLI perf summary, trace validation —
 works identically regardless of how the run was executed.
 
 This package is deliberately the **only** place in the library that
-imports both engines (enforced by ``tools/check_layering.py``): the
+imports both engines (enforced by the ``layering`` lint rule): the
 control plane in :mod:`repro.core` knows neither, and each engine knows
 nothing about the other.
 """

@@ -26,7 +26,7 @@ cooperating ones)::
 
 Layering: this package sits *above* ``repro.experiments`` and
 ``repro.backends`` (it may import both); nothing in the library
-imports it back (enforced by ``tools/check_layering.py``) — the CLI
+imports it back (enforced by the ``layering`` lint rule) — the CLI
 reaches it through a function-local import only.
 """
 

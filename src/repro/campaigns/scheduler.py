@@ -479,33 +479,40 @@ def run_campaign(
                     finish(cell, "skipped")
                 claimed, contended = claims.claim_all(batch)
                 deferred.extend(contended)
-                # Re-check under the lease: a peer may have finished a
-                # cell between our cache scan and the claim — serve it
-                # instead of executing twice.
-                landed = [c for c in claimed if store.has(c)]
-                if landed:
-                    claims.release_all(landed)
-                    for cell in landed:
-                        finish(cell, "cached")
-                        if bus is not None:
-                            bus.emit(
-                                "campaign.cell.cached", elapsed(), key=cell.key()
-                            )
-                    advanced += len(landed)
-                    claimed = [c for c in claimed if not store.has(c)]
-                if not claimed:
-                    continue
-                budget -= len(claimed)
+                # Everything under the lease lives inside one
+                # try/finally: an exception anywhere between the claim
+                # and the release (the landed re-check and its trace
+                # emits included) must not leak leases until the TTL
+                # steal — peers would stall a full staleness window.
                 try:
-                    _runner.run_group(
-                        spec, store, head, claimed, pool_workers, bus,
-                        elapsed, finish, say, metrics, claims,
-                    )
+                    # Re-check under the lease: a peer may have finished
+                    # a cell between our cache scan and the claim —
+                    # serve it instead of executing twice.
+                    landed = [c for c in claimed if store.has(c)]
+                    to_run = claimed
+                    if landed:
+                        for cell in landed:
+                            finish(cell, "cached")
+                            if bus is not None:
+                                bus.emit(
+                                    "campaign.cell.cached",
+                                    elapsed(),
+                                    key=cell.key(),
+                                )
+                        advanced += len(landed)
+                        to_run = [c for c in claimed if not store.has(c)]
+                    if to_run:
+                        budget -= len(to_run)
+                        _runner.run_group(
+                            spec, store, head, to_run, pool_workers, bus,
+                            elapsed, finish, say, metrics, claims,
+                        )
+                        advanced += len(to_run)
                 finally:
                     # Normally a no-op (the runner releases per cell);
-                    # an interrupt mid-group frees the untouched rest.
+                    # an interrupt mid-group frees the untouched rest,
+                    # and the landed cells release here too.
                     claims.release_all(claimed)
-                advanced += len(claimed)
 
             if budget <= 0 and deferred:
                 # Out of budget: contended cells are just "left pending",

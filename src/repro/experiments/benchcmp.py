@@ -94,8 +94,9 @@ def _measure_round_robin_50k() -> float:
     import numpy as np
 
     from ..sim.batch import round_robin_departures
+    from ..sim.rng import RandomStreams
 
-    rng = np.random.default_rng(0)
+    rng = RandomStreams(0).get("bench.kernels")
     n = 50_000
     arrivals = np.sort(rng.uniform(0.0, float(n) / 10.0, size=n))
     services = rng.exponential(8.0, size=n)

@@ -345,7 +345,7 @@ def _campaign_command(args: argparse.Namespace) -> int:
 
     :mod:`repro.campaigns` is imported *here*, not at module level: the
     campaign engine sits above the experiments layer and nothing in the
-    library proper may depend on it (``tools/check_layering.py``).
+    library proper may depend on it (the ``layering`` lint rule).
 
     Exit-code contract (stable for scripting):
 
@@ -476,7 +476,17 @@ def _lint_command(args: argparse.Namespace) -> int:
         rules = None
         if args.rules:
             rules = [r.strip() for r in args.rules.split(",") if r.strip()]
-        result = run_lint(args.paths, rules=rules)
+        cache_path = None if args.no_cache else ".reprolint-cache.json"
+        result = run_lint(args.paths, rules=rules, cache_path=cache_path)
+        if args.graph is not None:
+            from ..lint import render_dot
+
+            dot = render_dot(result.project.index)
+            Path(args.graph).write_text(dot, encoding="utf-8")
+            print(
+                f"graph: wrote {args.graph} "
+                f"({len(result.project.index.modules())} module(s))"
+            )
 
         baseline_path = args.baseline
         if baseline_path is None and Path(".reprolint.json").is_file():
@@ -516,6 +526,11 @@ def _lint_command(args: argparse.Namespace) -> int:
                     fix_hints=args.fix_hints,
                 )
             )
+            if result.cached:
+                print(
+                    f"cache: {result.cached}/{result.files} file(s) "
+                    "replayed without re-parsing"
+                )
         return 1 if fresh else 0
     except LintError as exc:
         print(f"repro lint: error: {exc}", file=sys.stderr)
@@ -648,7 +663,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     lintp = sub.add_parser(
         "lint",
         help="project-specific static analysis (determinism, layering, "
-        "trace-schema, pool-safety, float-compare)",
+        "trace-schema, pool-safety, float-compare, rng-streams, "
+        "lease-protocol, backend-parity)",
     )
     lintp.add_argument(
         "paths",
@@ -684,6 +700,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         metavar="R1,R2",
         help="comma-separated subset of rules to run (default: all)",
+    )
+    lintp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="analyze everything fresh, bypassing (and not writing) the "
+        "incremental cache (.reprolint-cache.json)",
+    )
+    lintp.add_argument(
+        "--graph",
+        default=None,
+        metavar="FILE",
+        help="also write the module import/call graph as Graphviz DOT",
     )
 
     campp = sub.add_parser(

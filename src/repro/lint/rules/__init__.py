@@ -6,6 +6,24 @@ authoritative rationale (docs/static-analysis.md summarizes them).
 
 from __future__ import annotations
 
-from . import determinism, floatcmp, layering, poolsafety, traceschema
+from . import (
+    determinism,
+    floatcmp,
+    layering,
+    leaseproto,
+    parity,
+    poolsafety,
+    rngstreams,
+    traceschema,
+)
 
-__all__ = ["determinism", "floatcmp", "layering", "poolsafety", "traceschema"]
+__all__ = [
+    "determinism",
+    "floatcmp",
+    "layering",
+    "leaseproto",
+    "parity",
+    "poolsafety",
+    "rngstreams",
+    "traceschema",
+]

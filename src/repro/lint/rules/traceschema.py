@@ -37,16 +37,20 @@ first arguments count as creation sites, which keeps unrelated callees
 (``np.histogram(data, bins)``, ``collections.Counter(seq)``) out of
 scope; the never-created direction, like dead-schema, only runs when
 the scan covers ``repro.obs.metrics`` itself.
+
+The rule is a pure ``finalize`` pass over the engine's *facts* table
+(call sites with statically-resolved first arguments, extracted by
+:mod:`repro.lint.program`), never over live ASTs — that is what lets
+the incremental cache replay unchanged modules into the census without
+re-parsing them.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 from ...obs.metrics import METRIC_NAMES
 from ...obs.schema import EVENT_TYPES
-from ..astutil import literal_strings, walk_with_function
 from ..findings import Finding
 from ..registry import Rule, register
 
@@ -84,19 +88,10 @@ _METRIC_DEAD_HINT = (
 )
 
 
-def _callee_name(call: ast.Call) -> Optional[str]:
-    """Bare name of the called function/method (``emit``, ``_emit_vm``)."""
-    if isinstance(call.func, ast.Attribute):
-        return call.func.attr
-    if isinstance(call.func, ast.Name):
-        return call.func.id
-    return None
-
-
-def _param_names(func: ast.AST) -> List[str]:
-    """Positional parameter names of a FunctionDef (incl. self)."""
-    args = func.args
-    return [a.arg for a in args.posonlyargs + args.args]
+def _scoped(module: str) -> bool:
+    return (module == "repro" or module.startswith("repro.")) and not (
+        module == _BUS_MODULE or module.startswith("repro.lint")
+    )
 
 
 @register
@@ -110,46 +105,36 @@ class TraceSchemaRule(Rule):
         "created)"
     )
 
-    def __init__(self) -> None:
-        self._modules: List = []
-
-    def check_module(self, ctx) -> Iterator[Finding]:
-        # Collection only — all findings are produced in finalize(),
-        # once the whole project (wrappers included) has been seen.
-        module = ctx.module
-        if (module == "repro" or module.startswith("repro.")) and not (
-            module == _BUS_MODULE or module.startswith("repro.lint")
-        ):
-            self._modules.append(ctx)
-        return iter(())
-
-    # ------------------------------------------------------------------
     def finalize(self, project) -> Iterator[Finding]:
+        modules = [
+            f
+            for _rel, f in sorted(project.facts.items())
+            if f is not None and _scoped(f["module"])
+        ]
+
         #: event name → first (path, line) that emits it
         emitted: Dict[str, Tuple[str, int]] = {}
         findings: List[Finding] = []
         #: names of forwarding-wrapper functions discovered in pass 1
         wrappers: Set[str] = set()
-        #: emit calls that sit inside a wrapper body (not call sites)
-        wrapper_emit_calls: Set[int] = set()
 
         # Pass 1: direct emit(...) call sites; discover wrappers.
-        for ctx in self._modules:
-            for node, func in walk_with_function(ctx.tree):
-                if not isinstance(node, ast.Call) or _callee_name(node) != "emit":
+        for facts in modules:
+            for call in facts["calls"]:
+                if call["base"] != "emit":
                     continue
-                if not node.args:
+                arg0 = call["arg0"]
+                if arg0 is None:
                     continue
-                names = literal_strings(node.args[0])
-                if names is not None:
-                    for name in names:
-                        emitted.setdefault(name, (ctx.rel, node.lineno))
+                if "lit" in arg0:
+                    for name in arg0["lit"]:
+                        emitted.setdefault(name, (facts["rel"], call["line"]))
                         if name not in EVENT_TYPES:
                             findings.append(
                                 Finding(
-                                    path=ctx.rel,
-                                    line=node.lineno,
-                                    col=node.col_offset,
+                                    path=facts["rel"],
+                                    line=call["line"],
+                                    col=call["col"],
                                     rule=self.name,
                                     message=(
                                         f"emit of unregistered trace event "
@@ -160,26 +145,20 @@ class TraceSchemaRule(Rule):
                                 )
                             )
                     continue
-                arg = node.args[0]
-                if (
-                    func is not None
-                    and isinstance(arg, ast.Name)
-                    and arg.id in _param_names(func)
-                ):
+                if "param" in arg0 and call["caller"]:
                     # Forwarding wrapper: hold its call sites to the
                     # literal-name standard in pass 2.
-                    wrappers.add(func.name)
-                    wrapper_emit_calls.add(id(node))
+                    wrappers.add(call["caller"].rsplit(".", 1)[-1])
                     continue
                 findings.append(
                     Finding(
-                        path=ctx.rel,
-                        line=node.lineno,
-                        col=node.col_offset,
+                        path=facts["rel"],
+                        line=call["line"],
+                        col=call["col"],
                         rule=self.name,
                         message=(
-                            f"emit with a dynamic event name in {ctx.module} "
-                            "defeats static schema checking"
+                            f"emit with a dynamic event name in "
+                            f"{facts['module']} defeats static schema checking"
                         ),
                         hint=_LITERAL_HINT,
                     )
@@ -187,22 +166,23 @@ class TraceSchemaRule(Rule):
 
         # Pass 2: wrapper call sites count as emissions of their
         # literal first argument.
-        for ctx in self._modules:
-            for node, _func in walk_with_function(ctx.tree):
-                if not isinstance(node, ast.Call):
+        wrappers.discard("emit")
+        for facts in modules:
+            for call in facts["calls"]:
+                callee = call["base"]
+                if callee not in wrappers:
                     continue
-                callee = _callee_name(node)
-                if callee not in wrappers or callee == "emit":
+                arg0 = call["arg0"]
+                if arg0 is None:
                     continue
-                if not node.args:
-                    continue
-                names = literal_strings(node.args[0])
-                if names is None:
+                if "lit" not in arg0:
+                    if "param" in arg0:
+                        continue  # the wrapper body's own forwarding call
                     findings.append(
                         Finding(
-                            path=ctx.rel,
-                            line=node.lineno,
-                            col=node.col_offset,
+                            path=facts["rel"],
+                            line=call["line"],
+                            col=call["col"],
                             rule=self.name,
                             message=(
                                 f"call of trace wrapper {callee}() with a "
@@ -213,14 +193,14 @@ class TraceSchemaRule(Rule):
                         )
                     )
                     continue
-                for name in names:
-                    emitted.setdefault(name, (ctx.rel, node.lineno))
+                for name in arg0["lit"]:
+                    emitted.setdefault(name, (facts["rel"], call["line"]))
                     if name not in EVENT_TYPES:
                         findings.append(
                             Finding(
-                                path=ctx.rel,
-                                line=node.lineno,
-                                col=node.col_offset,
+                                path=facts["rel"],
+                                line=call["line"],
+                                col=call["col"],
                                 rule=self.name,
                                 message=(
                                     f"emit of unregistered trace event "
@@ -237,27 +217,23 @@ class TraceSchemaRule(Rule):
         # sites (registry.counter/gauge/histogram) vs METRIC_NAMES.
         #: metric name → first (path, line) that creates it
         created: Dict[str, Tuple[str, int]] = {}
-        for ctx in self._modules:
-            for node, _func in walk_with_function(ctx.tree):
-                if not isinstance(node, ast.Call):
+        for facts in modules:
+            for call in facts["calls"]:
+                if call["base"] not in _INSTRUMENT_FACTORIES:
                     continue
-                if _callee_name(node) not in _INSTRUMENT_FACTORIES:
-                    continue
-                if not node.args:
-                    continue
-                names = literal_strings(node.args[0])
-                if names is None:
+                arg0 = call["arg0"]
+                if arg0 is None or "lit" not in arg0:
                     # Dynamic first arguments are out of scope on
                     # purpose: they are how unrelated callees look
                     # (np.histogram(data, bins), Counter(seq)).
                     continue
-                for name in names:
-                    created.setdefault(name, (ctx.rel, node.lineno))
+                for name in arg0["lit"]:
+                    created.setdefault(name, (facts["rel"], call["line"]))
                     if name not in METRIC_NAMES:
                         yield Finding(
-                            path=ctx.rel,
-                            line=node.lineno,
-                            col=node.col_offset,
+                            path=facts["rel"],
+                            line=call["line"],
+                            col=call["col"],
                             rule=self.name,
                             message=(
                                 f"creation of undeclared metric {name!r} "
@@ -266,16 +242,16 @@ class TraceSchemaRule(Rule):
                             ),
                             hint=_METRIC_DECLARE_HINT,
                         )
-        metrics_ctx = next(
-            (c for c in self._modules if c.module == _METRICS_MODULE), None
+        metrics_facts = next(
+            (f for f in modules if f["module"] == _METRICS_MODULE), None
         )
-        if metrics_ctx is not None:
+        if metrics_facts is not None:
             for metric in METRIC_NAMES:
                 if metric in created:
                     continue
                 yield Finding(
-                    path=metrics_ctx.rel,
-                    line=self._registry_line(metrics_ctx, metric),
+                    path=metrics_facts["rel"],
+                    line=self._registry_line(metrics_facts, metric),
                     col=0,
                     rule=self.name,
                     message=(
@@ -287,17 +263,17 @@ class TraceSchemaRule(Rule):
 
         # Dead-schema direction — only when the scan covered the
         # registry module itself.
-        schema_ctx = next(
-            (c for c in self._modules if c.module == _SCHEMA_MODULE), None
+        schema_facts = next(
+            (f for f in modules if f["module"] == _SCHEMA_MODULE), None
         )
-        if schema_ctx is None:
+        if schema_facts is None:
             return
         for event in EVENT_TYPES:
             if event in emitted:
                 continue
             yield Finding(
-                path=schema_ctx.rel,
-                line=self._registry_line(schema_ctx, event),
+                path=schema_facts["rel"],
+                line=self._registry_line(schema_facts, event),
                 col=0,
                 rule=self.name,
                 message=(
@@ -308,10 +284,6 @@ class TraceSchemaRule(Rule):
             )
 
     @staticmethod
-    def _registry_line(schema_ctx, event: str) -> int:
-        """Line of the event's registry entry (best effort, else 1)."""
-        needle = f'"{event}"'
-        for lineno, line in enumerate(schema_ctx.lines, start=1):
-            if needle in line:
-                return lineno
-        return 1
+    def _registry_line(facts: dict, name: str) -> int:
+        """Line of the name's registry entry (best effort, else 1)."""
+        return int(facts.get("string_lines", {}).get(name, 1))

@@ -1,29 +1,37 @@
-"""Lint driver — file discovery, parsing, rule dispatch, suppression.
+"""Lint driver — discovery, parsing, caching, rule dispatch, suppression.
 
 :func:`run_lint` is the programmatic entry point (the CLI's ``repro
-lint`` and ``tools/check_layering.py`` both sit on it):
+lint`` sits on it):
 
 1. expand the given paths into ``.py`` files (directories recurse);
-2. parse each into a :class:`ModuleContext` carrying the AST, the
-   source lines (for suppression directives) and the *dotted module
-   name*, resolved by walking up through ``__init__.py`` packages —
-   ``src/repro/sim/rng.py`` → ``repro.sim.rng``, while a test file
-   outside any package resolves to its bare stem.  Rules key their
-   applicability on that name, which is why linting ``tests/`` is safe:
-   repro-only rules simply do not fire there;
-3. run every rule over every module, then give each rule a
-   :meth:`~repro.lint.registry.Rule.finalize` pass over the whole
-   project (cross-module checks);
-4. drop findings silenced by inline ``# reprolint: disable=`` comments.
+2. for each file, consult the incremental cache
+   (:mod:`repro.lint.cache`, keyed by content sha256 — opt-in via
+   ``cache_path``): a hit replays the file's per-rule findings,
+   suppressions and whole-program facts without re-parsing; a miss
+   parses the file into a :class:`ModuleContext` — source lines for
+   suppression directives plus the *dotted module name*, resolved by
+   walking up through ``__init__.py`` packages (``src/repro/sim/rng.py``
+   → ``repro.sim.rng``, a test file outside any package → its bare
+   stem; rules key their applicability on that name, which is why
+   linting ``tests/`` is safe) — runs every rule's ``check_module``
+   and extracts :func:`~repro.lint.program.extract_facts`;
+3. a file that does not parse is *not* an internal error: it becomes a
+   per-file ``parse-error`` finding (exit 1), so one broken file never
+   masks the findings in every other file;
+4. give each rule a :meth:`~repro.lint.registry.Rule.finalize` pass
+   over the whole :class:`Project` — cross-module checks consume the
+   facts table (cached files included), never the ASTs, which only
+   exist for freshly-parsed files;
+5. drop findings silenced by inline ``# reprolint: disable=`` comments.
 
 Baseline handling deliberately stays *outside* this function — the CLI
-applies it so programmatic callers (tests, the shim) always see the
-full picture.
+applies it so programmatic callers (tests) always see the full picture.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -31,10 +39,23 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
 
 from ..errors import LintError
 from .findings import Finding
+from .program import ProgramIndex, extract_facts
 from .registry import Rule, build_rules
-from .suppress import is_suppressed, line_suppressions
+from .suppress import ALL_RULES, is_suppressed, line_suppressions
 
-__all__ = ["ModuleContext", "Project", "LintResult", "run_lint", "module_name_for"]
+__all__ = [
+    "ModuleContext",
+    "Project",
+    "LintResult",
+    "run_lint",
+    "module_name_for",
+    "PARSE_ERROR_RULE",
+]
+
+#: Pseudo-rule id carried by findings for files that fail to parse.
+PARSE_ERROR_RULE = "parse-error"
+
+_PARSE_HINT = "fix the syntax error; the file was skipped by every rule"
 
 
 @dataclass
@@ -61,15 +82,36 @@ class ModuleContext:
 
 @dataclass
 class Project:
-    """All scanned modules, for whole-program rule passes."""
+    """All scanned modules, for whole-program rule passes.
+
+    ``modules`` holds live :class:`ModuleContext` objects for the files
+    parsed *this* run only; ``facts`` (keyed by relative path) covers
+    every scanned file, cache hits included.  Whole-program rules must
+    therefore work from ``facts`` — ``modules`` is best-effort context,
+    not the project census.
+    """
 
     modules: List[ModuleContext] = field(default_factory=list)
+    #: rel path → :func:`~repro.lint.program.extract_facts` record
+    #: (``None`` for files that failed to parse).
+    facts: Dict[str, Optional[dict]] = field(default_factory=dict)
 
     def get(self, module: str) -> Optional[ModuleContext]:
         for ctx in self.modules:
             if ctx.module == module:
                 return ctx
         return None
+
+    @property
+    def index(self) -> ProgramIndex:
+        """Lazily-built symbol table / call graph over :attr:`facts`."""
+        cached = getattr(self, "_index", None)
+        if cached is None:
+            cached = ProgramIndex(
+                {rel: f for rel, f in self.facts.items() if f is not None}
+            )
+            object.__setattr__(self, "_index", cached)
+        return cached
 
 
 @dataclass
@@ -80,6 +122,12 @@ class LintResult:
     files: int
     suppressed: int
     rules: List[str]
+    #: Files analyzed fresh this run (parse + check_module + facts).
+    parsed: int = 0
+    #: Files replayed from the incremental cache.
+    cached: int = 0
+    #: The project census — carried for graph export and diagnostics.
+    project: Optional[Project] = None
 
 
 def module_name_for(path: Path) -> str:
@@ -126,58 +174,137 @@ def _relative(path: Path, root: Path) -> str:
     return rel.as_posix()
 
 
-def _parse(path: Path) -> "tuple[ast.Module, str]":
-    try:
-        source = path.read_text(encoding="utf-8")
-    except (OSError, UnicodeDecodeError) as exc:
-        raise LintError(f"cannot read {path}: {exc}") from None
-    try:
-        return ast.parse(source, filename=str(path)), source
-    except SyntaxError as exc:
-        raise LintError(f"{path}: syntax error: {exc.msg} (line {exc.lineno})") from None
+def _encode_suppressions(table: Dict[int, FrozenSet[str]]) -> Dict[str, List[str]]:
+    return {str(line): sorted(rules) for line, rules in table.items()}
 
 
-def load_module(path: Path, root: Path) -> ModuleContext:
-    """Parse one file into a :class:`ModuleContext`."""
-    tree, source = _parse(path)
-    return ModuleContext(
+def _decode_suppressions(data: Dict[str, List[str]]) -> Dict[int, FrozenSet[str]]:
+    out: Dict[int, FrozenSet[str]] = {}
+    for line, rules in data.items():
+        names = frozenset(rules)
+        out[int(line)] = ALL_RULES if "all" in names else names
+    return out
+
+
+def _analyze(
+    path: Path, rel: str, data: bytes, rule_objs: List[Rule], project: Project
+) -> dict:
+    """Fresh per-file analysis: parse, per-module rules, facts.
+
+    Returns the cacheable record; a live :class:`ModuleContext` is
+    appended to ``project.modules`` when the file parses.
+    """
+    try:
+        source = data.decode("utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        col = getattr(exc, "offset", None) or 0
+        message = getattr(exc, "msg", None) or str(exc)
+        finding = Finding(
+            path=rel,
+            line=int(line),
+            col=int(col),
+            rule=PARSE_ERROR_RULE,
+            message=f"file does not parse: {message}",
+            hint=_PARSE_HINT,
+        )
+        return {
+            "module": module_name_for(path),
+            "parse_error": finding.to_dict(),
+            "findings": {},
+            "suppressions": {},
+            "facts": None,
+        }
+    ctx = ModuleContext(
         path=path,
-        rel=_relative(path, root),
+        rel=rel,
         module=module_name_for(path),
         tree=tree,
         lines=source.splitlines(),
     )
+    project.modules.append(ctx)
+    findings: Dict[str, List[dict]] = {}
+    for rule in rule_objs:
+        try:
+            found = [f.to_dict() for f in rule.check_module(ctx)]
+        except LintError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - rule bug => internal error
+            raise LintError(
+                f"rule {rule.name!r} crashed on {ctx.rel}: {exc!r}"
+            ) from exc
+        if found:
+            findings[rule.name] = found
+    return {
+        "module": ctx.module,
+        "parse_error": None,
+        "findings": findings,
+        "suppressions": _encode_suppressions(ctx.suppressions),
+        "facts": extract_facts(ctx),
+    }
 
 
 def run_lint(
     paths: Sequence[Union[str, Path]],
     rules: Optional[Sequence[str]] = None,
     root: Optional[Union[str, Path]] = None,
+    cache_path: Optional[Union[str, Path]] = None,
 ) -> LintResult:
     """Lint ``paths`` with the named rules (default: all registered).
 
+    ``cache_path`` enables the incremental cache (see
+    :mod:`repro.lint.cache`); ``None`` — the default, and what fixture
+    tests want — analyzes everything fresh and writes nothing.
+
     Raises :class:`~repro.errors.LintError` for usage/internal problems
-    (missing paths, unknown rules, unparsable source) — the condition
+    (missing paths, unknown rules, unreadable files) — the condition
     the CLI maps to exit code 2, distinct from "findings exist" (1).
+    Unparsable source is *not* in that class: it surfaces as a
+    ``parse-error`` finding on the offending file.
     """
+    from .cache import LintCache, cache_signature
+
     root_path = Path(root) if root is not None else Path(os.getcwd())
     rule_objs: List[Rule] = build_rules(rules)
+    active = [r.name for r in rule_objs]
     files = discover_files(paths)
+    cache = (
+        LintCache(Path(cache_path), cache_signature(active))
+        if cache_path is not None
+        else None
+    )
+
     project = Project()
+    records: List[dict] = []
+    parsed = cached = 0
     for path in files:
-        project.modules.append(load_module(path, root_path))
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from None
+        rel = _relative(path, root_path)
+        sha = hashlib.sha256(data).hexdigest()
+        record = cache.get(rel, sha) if cache is not None else None
+        if record is None:
+            parsed += 1
+            record = _analyze(path, rel, data, rule_objs, project)
+            if cache is not None:
+                cache.put(rel, sha, record)
+        else:
+            cached += 1
+        record = dict(record)
+        record["rel"] = rel
+        records.append(record)
+        project.facts[rel] = record.get("facts")
 
     raw: List[Finding] = []
-    for rule in rule_objs:
-        for ctx in project.modules:
-            try:
-                raw.extend(rule.check_module(ctx))
-            except LintError:
-                raise
-            except Exception as exc:  # noqa: BLE001 - rule bug => internal error
-                raise LintError(
-                    f"rule {rule.name!r} crashed on {ctx.rel}: {exc!r}"
-                ) from exc
+    for record in records:
+        if record.get("parse_error") is not None:
+            raw.append(Finding.from_dict(record["parse_error"]))
+        for rule_name in active:
+            for data_dict in record.get("findings", {}).get(rule_name, []):
+                raw.append(Finding.from_dict(data_dict))
     for rule in rule_objs:
         try:
             raw.extend(rule.finalize(project))
@@ -186,20 +313,26 @@ def run_lint(
         except Exception as exc:  # noqa: BLE001
             raise LintError(f"rule {rule.name!r} crashed in finalize: {exc!r}") from exc
 
-    by_rel = {ctx.rel: ctx for ctx in project.modules}
+    suppressions_by_rel = {
+        record["rel"]: _decode_suppressions(record.get("suppressions", {}))
+        for record in records
+    }
     kept: List[Finding] = []
     suppressed = 0
     for finding in sorted(raw):
-        ctx = by_rel.get(finding.path)
-        if ctx is not None and is_suppressed(
-            finding.rule, finding.line, ctx.suppressions
-        ):
+        table = suppressions_by_rel.get(finding.path)
+        if table and is_suppressed(finding.rule, finding.line, table):
             suppressed += 1
             continue
         kept.append(finding)
+    if cache is not None:
+        cache.save()
     return LintResult(
         findings=kept,
         files=len(files),
         suppressed=suppressed,
-        rules=[r.name for r in rule_objs],
+        rules=active,
+        parsed=parsed,
+        cached=cached,
+        project=project,
     )

@@ -23,7 +23,52 @@ from typing import Dict, Iterable
 
 import numpy as np
 
-__all__ = ["RandomStreams", "fnv1a64"]
+__all__ = [
+    "RandomStreams",
+    "STREAM_REGISTRY",
+    "fnv1a64",
+    "registered_streams",
+    "stream_registered",
+]
+
+#: The library's stream-name census: every named stream a ``repro.*``
+#: module draws, with its purpose.  A trailing ``.*`` entry declares a
+#: *family* — dynamically-composed names under that literal prefix
+#: (``service.{tier}``).  The ``rng-streams`` lint rule cross-checks
+#: this table in both directions: drawing an unregistered name and
+#: registering a name nobody draws are both findings, so the table is
+#: always the complete, current answer to "where does randomness enter
+#: a replication?".  Runtime stays permissive (ad-hoc names in tests
+#: and notebooks are fine) — the registry is a statically-enforced
+#: provenance contract for library code, not a runtime gate.
+STREAM_REGISTRY: Dict[str, str] = {
+    "arrivals": "workload arrival process (both DES backends)",
+    "service": "service-time draws (both DES backends)",
+    "service.*": "per-tier service-time draws of multi-tier fleets",
+    "workload.mmpp.phase": "MMPP phase trajectory of synthetic workloads",
+    "economy.revocation": "spot-capacity revocation schedule",
+    "analysis.web": "workload characterization of the web trace",
+    "analysis.sci": "workload characterization of the scientific trace",
+    "fig3.arrivals": "figure-3 arrival realizations",
+    "fig4.arrivals": "figure-4 arrival realizations",
+    "bench.web": "benchmark web-scenario arrivals",
+    "bench.kernels": "benchmark kernel input vectors",
+}
+
+
+def registered_streams() -> Iterable[str]:
+    """Registered stream names (families as ``prefix.*``), sorted."""
+    return tuple(sorted(STREAM_REGISTRY))
+
+
+def stream_registered(name: str) -> bool:
+    """True when ``name`` is registered, exactly or under a family."""
+    if name in STREAM_REGISTRY:
+        return True
+    return any(
+        entry.endswith(".*") and name.startswith(entry[:-1])
+        for entry in STREAM_REGISTRY
+    )
 
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
@@ -54,11 +99,11 @@ class RandomStreams:
     Examples
     --------
     >>> streams = RandomStreams(seed=42)
-    >>> arrivals = streams.get("workload.arrivals")
-    >>> service = streams.get("instance.service")
+    >>> arrivals = streams.get("arrivals")
+    >>> service = streams.get("service")
     >>> float(arrivals.random()) != float(service.random())
     True
-    >>> streams.get("workload.arrivals") is arrivals   # cached
+    >>> streams.get("arrivals") is arrivals   # cached
     True
     """
 

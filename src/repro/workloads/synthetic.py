@@ -21,6 +21,7 @@ from typing import Sequence, Tuple, Union
 import numpy as np
 
 from ..errors import WorkloadError
+from ..sim.rng import RandomStreams
 from .base import ServiceTimeSampler, Workload
 from .distributions import poisson_process
 
@@ -202,10 +203,11 @@ class MMPPWorkload(Workload):
         self.window = float(window)
         self.phase_seed = int(phase_seed)
         # Lazily-extended phase trajectory: switch times and the state
-        # that *begins* at each switch (True = high).
-        self._phase_rng = np.random.default_rng(
-            np.random.SeedSequence(entropy=self.phase_seed, spawn_key=(0x4D4D5050,))
-        )
+        # that *begins* at each switch (True = high).  The trajectory is
+        # a property of the workload (phase_seed), not the replication,
+        # so it draws its own registered stream rather than the
+        # context's factory.
+        self._phase_rng = RandomStreams(self.phase_seed).get("workload.mmpp.phase")
         start_high = bool(self._phase_rng.random() < self.stationary_high_fraction)
         self._switch_times = [0.0]
         self._states = [start_high]

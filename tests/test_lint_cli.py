@@ -1,8 +1,10 @@
-"""The ``repro lint`` CLI surface and the tools/check_layering.py shim.
+"""The ``repro lint`` CLI surface.
 
 Pins the exit-code contract (0 clean / 1 findings / 2 internal error),
-the JSON output mode, ``--fix-hints``, ``--rules`` subsetting, and the
-``--update-baseline`` add/expire cycle end to end.
+the JSON output mode, ``--fix-hints``, ``--rules`` subsetting, the
+``--update-baseline`` add/expire cycle, the incremental-cache options
+(``--no-cache``, the replay report line), the ``--graph`` DOT export,
+and the retirement stub at tools/check_layering.py.
 """
 
 from __future__ import annotations
@@ -155,36 +157,66 @@ def test_committed_repo_baseline_is_empty():
 
 
 # ---------------------------------------------------------------------------
-# tools/check_layering.py shim (old entry point keeps its contract)
+# whole-program options: --no-cache, --graph, cache reporting
 # ---------------------------------------------------------------------------
 
 
-def _run_shim(*argv, cwd):
-    return subprocess.run(
-        [sys.executable, str(SHIM), *map(str, argv)],
-        cwd=cwd,
+def test_lint_reports_cache_replay_on_second_run(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    root = _clean_tree(tmp_path)
+    assert main(["lint", str(root)]) == 0
+    capsys.readouterr()
+    assert (tmp_path / ".reprolint-cache.json").is_file()
+    assert main(["lint", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "replayed without re-parsing" in out
+
+
+def test_lint_no_cache_writes_nothing(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    root = _clean_tree(tmp_path)
+    assert main(["lint", str(root), "--no-cache"]) == 0
+    capsys.readouterr()
+    assert not (tmp_path / ".reprolint-cache.json").exists()
+
+
+def test_lint_graph_export_writes_dot(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    root = write_tree(
+        tmp_path / "tree",
+        {
+            "repro/sim/a.py": "def f():\n    return 1\n",
+            "repro/cloud/b.py": "from repro.sim.a import f\n\ndef g():\n    return f()\n",
+        },
+    )
+    dot = tmp_path / "graph.dot"
+    assert main(["lint", str(root), "--graph", str(dot)]) == 0
+    out = capsys.readouterr().out
+    assert "graph: wrote" in out
+    text = dot.read_text(encoding="utf-8")
+    assert text.startswith("digraph")
+    assert "repro.sim.a" in text and "repro.cloud.b" in text
+
+
+def test_lint_parse_error_is_exit_one(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    root = write_tree(tmp_path / "tree", {"repro/cloud/bad.py": "def broken(:\n"})
+    assert main(["lint", str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "[parse-error]" in out
+
+
+# ---------------------------------------------------------------------------
+# tools/check_layering.py was retired to a pointer stub
+# ---------------------------------------------------------------------------
+
+
+def test_shim_is_retired_with_pointer():
+    proc = subprocess.run(
+        [sys.executable, str(SHIM), "src"],
+        cwd=REPO,
         capture_output=True,
         text=True,
     )
-
-
-def test_shim_clean_on_repo_source():
-    proc = _run_shim("src", cwd=REPO)
-    assert proc.returncode == 0, proc.stdout + proc.stderr
-    assert "layering: OK" in proc.stdout
-
-
-def test_shim_reports_violations(tmp_path):
-    root = write_tree(
-        tmp_path, {"repro/queueing/bad.py": "from repro.cloud import vm\n"}
-    )
-    proc = _run_shim(root, cwd=REPO)
-    assert proc.returncode == 1
-    assert "repro.queueing.bad imports repro.cloud" in proc.stdout
-    assert "1 layering violation(s)" in proc.stderr
-
-
-def test_shim_missing_root_is_exit_two(tmp_path):
-    proc = _run_shim(tmp_path / "missing", cwd=REPO)
-    assert proc.returncode == 2
-    assert "source root not found" in proc.stderr
+    assert proc.returncode != 0
+    assert "repro lint" in proc.stderr

@@ -74,11 +74,30 @@ def test_unknown_rule_and_missing_path_raise_lint_error(tmp_path):
         run_lint([tmp_path / "missing"])
 
 
-def test_syntax_error_is_internal_error(tmp_path):
-    bad = tmp_path / "bad.py"
-    bad.write_text("def broken(:\n", encoding="utf-8")
-    with pytest.raises(LintError, match="syntax error"):
-        run_lint([bad])
+def test_syntax_error_is_a_parse_error_finding(tmp_path):
+    """A broken file is a finding on that file, not an internal error."""
+    write_tree(
+        tmp_path,
+        {
+            "bad.py": "def broken(:\n",
+            "repro/cloud/good.py": """
+                import time
+
+                def now():
+                    return time.time()
+            """,
+        },
+    )
+    result = run_lint([tmp_path], root=tmp_path)
+    parse = [f for f in result.findings if f.rule == "parse-error"]
+    assert len(parse) == 1
+    assert parse[0].path == "bad.py"
+    assert "does not parse" in parse[0].message
+    # ... and the broken file does not mask findings elsewhere.
+    assert any(
+        f.rule == "determinism" and f.path == "repro/cloud/good.py"
+        for f in result.findings
+    )
 
 
 # ---------------------------------------------------------------------------

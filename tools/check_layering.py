@@ -1,56 +1,5 @@
 #!/usr/bin/env python3
-"""Layering lint — thin shim over the ``layering`` rule of ``repro.lint``.
-
-Historically this script held the import-direction checker itself; the
-implementation now lives in :mod:`repro.lint.rules.layering` alongside
-the other project rules, and ``repro lint`` is the preferred entry
-point::
-
-    repro lint src tests            # all rules
-    repro lint src --rules layering # just this one
-
-This shim keeps the old invocation and exit contract working for
-scripts and muscle memory:
-
-Usage: ``python tools/check_layering.py [src-root]`` — exits 0 when
-clean, non-zero listing every violation, 2 when the source root is
-missing.
-"""
-
-from __future__ import annotations
-
+"""Retired — the layering checker lives in ``repro.lint`` now."""
 import sys
-from pathlib import Path
 
-
-def main(argv) -> int:
-    src_root = Path(argv[1]) if len(argv) > 1 else Path("src")
-    if not src_root.is_dir():
-        print(f"source root not found: {src_root}", file=sys.stderr)
-        return 2
-
-    # Make the in-repo package importable when running from a checkout
-    # without an installed distribution.
-    repo_src = Path(__file__).resolve().parent.parent / "src"
-    if repo_src.is_dir() and str(repo_src) not in sys.path:
-        sys.path.insert(0, str(repo_src))
-
-    from repro.errors import LintError
-    from repro.lint import run_lint
-
-    try:
-        result = run_lint([src_root], rules=["layering"])
-    except LintError as exc:
-        print(f"check_layering: {exc}", file=sys.stderr)
-        return 2
-    for finding in result.findings:
-        print(f"{finding.location()}: {finding.message}")
-    if result.findings:
-        print(f"{len(result.findings)} layering violation(s)", file=sys.stderr)
-        return 1
-    print("layering: OK")
-    return 0
-
-
-if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+sys.exit("tools/check_layering.py was retired: run `repro lint src --rules layering` instead.")
